@@ -1,0 +1,42 @@
+// Ablation (this repo): sensitivity of the just-in-time model to the
+// scheduling interval. The paper fixes it at 15 minutes; this sweep shows the
+// trade-off it embodies - shorter intervals dispatch schedule points sooner
+// (less dead time between DAG levels) but react to staler gossip relative to
+// activity, while very long intervals dominate the completion time with
+// waiting. Full-ahead SMF is shown for reference (it dispatches on readiness
+// and is insensitive to the interval by design).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dpjit;
+  const auto cli = util::Config::from_args(argc, argv);
+  auto base = bench::base_config(cli, 150);
+  bench::banner("Ablation: scheduling interval (just-in-time granularity)", base);
+
+  const std::vector<double> minutes{2.5, 5.0, 15.0, 30.0, 60.0};
+  std::vector<exp::ExperimentConfig> configs;
+  std::vector<std::string> labels;
+  for (const char* algo : {"dsmf", "smf"}) {
+    for (double m : minutes) {
+      exp::ExperimentConfig cfg = base;
+      cfg.algorithm = algo;
+      cfg.system.scheduling_interval_s = m * 60.0;
+      cfg.system.first_schedule_at_s = m * 60.0;
+      configs.push_back(cfg);
+      labels.push_back(std::string(algo) + " @ " + util::TablePrinter::fmt(m, 3) + " min");
+    }
+  }
+  std::fprintf(stderr, "running %zu configurations...\n", configs.size());
+  const auto results = exp::run_sweep(configs);
+
+  util::TablePrinter t({"configuration", "ACT(s)", "AE", "finished"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    t.add_row({labels[i], util::TablePrinter::fmt(results[i].act, 6),
+               util::TablePrinter::fmt(results[i].ae, 4),
+               std::to_string(results[i].workflows_finished)});
+  }
+  t.print(std::cout);
+  std::cout << "\nexpected shape: DSMF's ACT shrinks as the interval shrinks (each DAG level\n"
+               "waits ~interval/2 less), flattening below ~5 min; SMF is interval-invariant.\n";
+  return 0;
+}

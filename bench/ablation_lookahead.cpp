@@ -1,0 +1,30 @@
+// Extension bench: lookahead HEFT (paper related-work [24], Bittencourt et
+// al.) against plain HEFT, SMF and DSMF. The reference reports up to 20%
+// average workflow execution time improvement of lookahead over plain HEFT.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dpjit;
+  const auto cli = util::Config::from_args(argc, argv);
+  auto base = bench::base_config(cli, 80);  // lookahead planning is O(V N^2 C)
+  bench::banner("Extension: lookahead HEFT [24] vs HEFT vs SMF vs DSMF", base);
+
+  std::vector<exp::ExperimentConfig> configs;
+  for (const char* algo : {"heft", "heft-la", "smf", "dsmf"}) {
+    exp::ExperimentConfig cfg = base;
+    cfg.algorithm = algo;
+    configs.push_back(cfg);
+  }
+  std::fprintf(stderr, "running %zu configurations...\n", configs.size());
+  const auto results = exp::run_sweep(configs);
+
+  exp::print_summary_table(std::cout, results);
+
+  const double heft_act = results[0].act;
+  const double la_act = results[1].act;
+  if (heft_act > 0.0) {
+    std::printf("\nlookahead vs plain HEFT: ACT %+.1f%% (reference [24] reports up to -20%%)\n",
+                (la_act - heft_act) / heft_act * 100.0);
+  }
+  return 0;
+}

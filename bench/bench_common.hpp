@@ -1,0 +1,110 @@
+// Shared scaffolding for the per-figure experiment binaries.
+//
+// Every binary regenerates one table/figure of the paper (see DESIGN.md's
+// per-experiment index). Absolute numbers depend on the machine-independent
+// simulated workload, so they are stable; the default scale is reduced from
+// the paper's n=1000 so the whole bench suite runs in minutes. Pass
+// `--paper` (or explicit --nodes=1000) to run at publication scale.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/policy_registry.hpp"
+#include "exp/reporters.hpp"
+#include "exp/sweep.hpp"
+#include "util/config.hpp"
+#include "util/table_printer.hpp"
+
+namespace dpjit::bench {
+
+/// Parses the common experiment knobs. `default_nodes` is per-binary.
+inline exp::ExperimentConfig base_config(const util::Config& cli, int default_nodes) {
+  exp::ExperimentConfig cfg;
+  if (cli.get_bool("paper", false)) {
+    cfg.nodes = 1000;  // paper Section IV.A headline scale
+  } else {
+    cfg.nodes = default_nodes;
+  }
+  cfg.nodes = static_cast<int>(cli.get_int("nodes", cfg.nodes));
+  cfg.workflows_per_node = static_cast<int>(cli.get_int("workflows", 3));
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  cfg.system.horizon_s = cli.get_double("hours", 36.0) * 3600.0;
+  return cfg;
+}
+
+/// Prints the standard banner: what this binary reproduces + configuration.
+inline void banner(const std::string& what, const exp::ExperimentConfig& cfg) {
+  std::cout << "=== " << what << " ===\n"
+            << "nodes=" << cfg.nodes << " workflows/node=" << cfg.workflows_per_node
+            << " horizon=" << cfg.system.horizon_s / 3600.0 << "h seed=" << cfg.seed
+            << " (use --paper for n=1000 publication scale)\n\n";
+}
+
+/// Runs the base config across the paper's eight algorithms with progress.
+inline std::vector<exp::ExperimentResult> run_all_algorithms(const exp::ExperimentConfig& base) {
+  const auto configs = exp::across_algorithms(base);
+  std::fprintf(stderr, "running %zu algorithm(s) x 1 configuration...\n", configs.size());
+  return exp::run_sweep(configs);
+}
+
+/// Runs each configuration `seeds` times (seed, seed+1, ...) and averages the
+/// scalar metrics (ACT, AE, response, finished) per configuration. Curves are
+/// kept from the first seed. Sweep-style benches expose this via --seeds=N to
+/// damp single-draw workload noise.
+inline std::vector<exp::ExperimentResult> run_seed_averaged(
+    const std::vector<exp::ExperimentConfig>& configs, int seeds) {
+  if (seeds <= 1) return exp::run_sweep(configs);
+  std::vector<exp::ExperimentConfig> expanded;
+  expanded.reserve(configs.size() * static_cast<std::size_t>(seeds));
+  for (const auto& cfg : configs) {
+    for (int s = 0; s < seeds; ++s) {
+      exp::ExperimentConfig c = cfg;
+      c.seed = cfg.seed + static_cast<std::uint64_t>(s);
+      expanded.push_back(std::move(c));
+    }
+  }
+  const auto raw = exp::run_sweep(expanded);
+  std::vector<exp::ExperimentResult> averaged;
+  averaged.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    exp::ExperimentResult acc = raw[i * static_cast<std::size_t>(seeds)];
+    for (int s = 1; s < seeds; ++s) {
+      const auto& r = raw[i * static_cast<std::size_t>(seeds) + static_cast<std::size_t>(s)];
+      acc.act += r.act;
+      acc.ae += r.ae;
+      acc.mean_response += r.mean_response;
+      acc.workflows_finished += r.workflows_finished;
+      acc.tasks_failed += r.tasks_failed;
+    }
+    acc.act /= seeds;
+    acc.ae /= seeds;
+    acc.mean_response /= seeds;
+    acc.workflows_finished /= static_cast<std::size_t>(seeds);
+    acc.tasks_failed /= static_cast<std::uint64_t>(seeds);
+    averaged.push_back(std::move(acc));
+  }
+  return averaged;
+}
+
+/// "Who wins" line: compares DSMF with the other decentralized algorithms the
+/// way the abstract states its 20-60% / 37.5-90% claims.
+inline void print_dsmf_gains(const std::vector<exp::ExperimentResult>& results) {
+  const exp::ExperimentResult* dsmf = nullptr;
+  for (const auto& r : results) {
+    if (r.algorithm == "dsmf") dsmf = &r;
+  }
+  if (dsmf == nullptr || dsmf->act <= 0.0) return;
+  std::cout << "\nDSMF vs the other algorithms (positive = DSMF better):\n";
+  for (const auto& r : results) {
+    if (r.algorithm == "dsmf" || r.act <= 0.0) continue;
+    const double act_red = (r.act - dsmf->act) / r.act * 100.0;
+    const double ae_gain = r.ae > 0.0 ? (dsmf->ae - r.ae) / r.ae * 100.0 : 0.0;
+    std::printf("  vs %-10s ACT reduction %6.1f%%   AE improvement %6.1f%%\n",
+                r.algorithm.c_str(), act_red, ae_gain);
+  }
+}
+
+}  // namespace dpjit::bench

@@ -1,0 +1,20 @@
+// Fig. 4: throughput (cumulative workflows finished) over 36 hours for the
+// eight algorithms in the static environment.
+//
+// Expected shape (paper Section IV.B): SMF finishes workflows fastest
+// throughout, DSMF is second; HEFT and DHEFT show the lowest early throughput
+// but eventually complete everything.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dpjit;
+  const auto cli = util::Config::from_args(argc, argv);
+  const auto base = bench::base_config(cli, 200);
+  bench::banner("Fig. 4: throughput of workflows, static P2P grid", base);
+
+  const auto results = bench::run_all_algorithms(base);
+  exp::print_time_series(std::cout, results, "throughput");
+  std::cout << "\nconverged summary:\n";
+  exp::print_summary_table(std::cout, results);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Fig. 6: average workflow execution efficiency (running AE, Eq. 3) over
+// time for the eight algorithms, static environment.
+//
+// Expected shape: SMF highest, DSMF second (paper: 37.5-90% AE improvement
+// over the other decentralized algorithms).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dpjit;
+  const auto cli = util::Config::from_args(argc, argv);
+  const auto base = bench::base_config(cli, 200);
+  bench::banner("Fig. 6: average efficiency of workflows, static P2P grid", base);
+
+  const auto results = bench::run_all_algorithms(base);
+  exp::print_time_series(std::cout, results, "ae");
+  std::cout << "\nconverged summary:\n";
+  exp::print_summary_table(std::cout, results);
+  bench::print_dsmf_gains(results);
+  return 0;
+}

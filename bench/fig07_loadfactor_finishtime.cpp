@@ -1,0 +1,34 @@
+// Fig. 7: average finish-time under load factor (workflows per node) 1..8,
+// all eight algorithms.
+//
+// Expected shape: everyone degrades as competition grows; DSMF adapts best
+// at high load (paper: DSMF wins ACT at load factor 7-8).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dpjit;
+  const auto cli = util::Config::from_args(argc, argv);
+  auto base = bench::base_config(cli, 100);
+  bench::banner("Fig. 7: average finish-time vs load factor", base);
+
+  const int max_lf = static_cast<int>(cli.get_int("max-load-factor", 8));
+  std::vector<exp::ExperimentConfig> configs;
+  for (int lf = 1; lf <= max_lf; ++lf) {
+    exp::ExperimentConfig cfg = base;
+    cfg.workflows_per_node = lf;
+    for (auto& c : exp::across_algorithms(cfg)) configs.push_back(c);
+  }
+  const int seeds = static_cast<int>(cli.get_int("seeds", 1));
+  std::fprintf(stderr, "running %zu configurations x %d seed(s)...\n", configs.size(), seeds);
+  const auto results = bench::run_seed_averaged(configs, seeds);
+
+  const auto algos = core::paper_algorithms();
+  std::vector<std::string> x_values;
+  std::vector<std::vector<double>> act(algos.size());
+  for (int lf = 1; lf <= max_lf; ++lf) x_values.push_back(std::to_string(lf));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    act[i % algos.size()].push_back(results[i].act);
+  }
+  exp::print_sweep_table(std::cout, "load_factor", x_values, algos, act);
+  return 0;
+}

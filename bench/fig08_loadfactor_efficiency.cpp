@@ -1,0 +1,32 @@
+// Fig. 8: average efficiency under load factor 1..8, all eight algorithms.
+//
+// Expected shape: AE decreases with load; SMF/DSMF stay on top.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dpjit;
+  const auto cli = util::Config::from_args(argc, argv);
+  auto base = bench::base_config(cli, 100);
+  bench::banner("Fig. 8: average efficiency vs load factor", base);
+
+  const int max_lf = static_cast<int>(cli.get_int("max-load-factor", 8));
+  std::vector<exp::ExperimentConfig> configs;
+  for (int lf = 1; lf <= max_lf; ++lf) {
+    exp::ExperimentConfig cfg = base;
+    cfg.workflows_per_node = lf;
+    for (auto& c : exp::across_algorithms(cfg)) configs.push_back(c);
+  }
+  const int seeds = static_cast<int>(cli.get_int("seeds", 1));
+  std::fprintf(stderr, "running %zu configurations x %d seed(s)...\n", configs.size(), seeds);
+  const auto results = bench::run_seed_averaged(configs, seeds);
+
+  const auto algos = core::paper_algorithms();
+  std::vector<std::string> x_values;
+  std::vector<std::vector<double>> ae(algos.size());
+  for (int lf = 1; lf <= max_lf; ++lf) x_values.push_back(std::to_string(lf));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ae[i % algos.size()].push_back(results[i].ae);
+  }
+  exp::print_sweep_table(std::cout, "load_factor", x_values, algos, ae);
+  return 0;
+}

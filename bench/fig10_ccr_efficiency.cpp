@@ -1,0 +1,41 @@
+// Fig. 10: average efficiency under the four CCR cases of Fig. 9.
+#include "bench_common.hpp"
+
+namespace {
+struct CcrCase {
+  const char* label;
+  double load_lo, load_hi, data_lo, data_hi;
+};
+constexpr CcrCase kCases[] = {
+    {"load:10-1000/data:10-1000", 10, 1000, 10, 1000},
+    {"load:10-1000/data:100-10000", 10, 1000, 100, 10000},
+    {"load:100-10000/data:10-1000", 100, 10000, 10, 1000},
+    {"load:100-10000/data:100-10000", 100, 10000, 100, 10000},
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dpjit;
+  const auto cli = util::Config::from_args(argc, argv);
+  auto base = bench::base_config(cli, 150);
+  bench::banner("Fig. 10: average efficiency under different CCRs", base);
+
+  std::vector<exp::ExperimentConfig> configs;
+  for (const auto& c : kCases) {
+    exp::ExperimentConfig cfg = base;
+    cfg.set_load_range(c.load_lo, c.load_hi);
+    cfg.set_data_range(c.data_lo, c.data_hi);
+    for (auto& one : exp::across_algorithms(cfg)) configs.push_back(one);
+  }
+  const int seeds = static_cast<int>(cli.get_int("seeds", 1));
+  std::fprintf(stderr, "running %zu configurations x %d seed(s)...\n", configs.size(), seeds);
+  const auto results = bench::run_seed_averaged(configs, seeds);
+
+  const auto algos = core::paper_algorithms();
+  std::vector<std::string> x_values;
+  for (const auto& c : kCases) x_values.emplace_back(c.label);
+  std::vector<std::vector<double>> ae(algos.size());
+  for (std::size_t i = 0; i < results.size(); ++i) ae[i % algos.size()].push_back(results[i].ae);
+  exp::print_sweep_table(std::cout, "ccr_case", x_values, algos, ae);
+  return 0;
+}

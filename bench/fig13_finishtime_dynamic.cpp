@@ -1,0 +1,31 @@
+// Fig. 13: DSMF average finish-time in the dynamic environment.
+//
+// Expected shape: finished workflows keep a relatively stable ACT for
+// df <= 0.2 (the paper's headline robustness claim).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dpjit;
+  const auto cli = util::Config::from_args(argc, argv);
+  auto base = bench::base_config(cli, 200);
+  base.algorithm = cli.get_string("algorithm", "dsmf");
+  base.reschedule = cli.get_bool("reschedule", false);
+  base.system.home_keeps_outputs = !cli.get_bool("no-result-collection", false);
+  bench::banner("Fig. 13: average finish-time of DSMF in dynamic environment", base);
+
+  std::vector<exp::ExperimentConfig> configs;
+  std::vector<std::string> labels;
+  for (double df : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+    exp::ExperimentConfig cfg = base;
+    cfg.dynamic_factor = df;
+    configs.push_back(cfg);
+    labels.push_back("df=" + util::TablePrinter::fmt(df, 2));
+  }
+  std::fprintf(stderr, "running %zu dynamic factors...\n", configs.size());
+  const auto results = exp::run_sweep(configs);
+
+  exp::print_time_series(std::cout, results, "act", labels);
+  std::cout << "\nsummary:\n";
+  exp::print_summary_table(std::cout, results);
+  return 0;
+}

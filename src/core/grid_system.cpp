@@ -1,0 +1,658 @@
+#include "core/grid_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rpm.hpp"
+#include "dag/critical_path.hpp"
+
+namespace dpjit::core {
+
+// ---------------------------------------------------------------------------
+// DispatchContext implementation backed by the live system.
+// ---------------------------------------------------------------------------
+
+class SystemDispatchContext final : public DispatchContext {
+ public:
+  SystemDispatchContext(GridSystem& sys, NodeId home, dag::AverageEstimates averages)
+      : sys_(sys), home_(home), averages_(averages) {
+    // Working copy of RSS(p_s): the gossiped entries plus the home node itself
+    // with its true local state (a node always knows itself).
+    const auto& view = sys_.gossip_->rss(home);
+    resources_.reserve(view.size() + 1);
+    const auto& self = sys_.nodes_[static_cast<std::size_t>(home.get())];
+    resources_.push_back(gossip::ResourceEntry{home, self.total_load_mi(sys_.engine_.now()),
+                                               self.capacity_mips(), sys_.engine_.now(),
+                                               0});
+    for (const auto& e : view.entries()) resources_.push_back(e);
+
+    // Pending workflows with schedule points, RPM and ms under the home's
+    // believed averages (Algorithm 1 lines 2-7).
+    for (WorkflowId id : sys_.home_workflows_[static_cast<std::size_t>(home.get())]) {
+      auto& wf = sys_.workflows_[static_cast<std::size_t>(id.get())];
+      if (wf.done()) continue;
+      const auto sps = sys_.schedule_points(wf);
+      if (sps.empty()) continue;
+      const auto rpm = rest_path_makespans(wf.dag, averages_);
+      PendingWorkflow pending;
+      pending.wf = id;
+      pending.makespan = remaining_makespan(rpm, sps);
+      for (TaskIndex t : sps) {
+        CandidateTask c;
+        c.ref = TaskRef{id, t};
+        c.load_mi = wf.dag.task(t).load_mi;
+        c.rpm = rpm[static_cast<std::size_t>(t.get())];
+        c.wf_makespan = pending.makespan;
+        c.slack = pending.makespan - c.rpm;
+        c.inputs = sys_.estimate_inputs(wf, t);
+        pending.tasks.push_back(std::move(c));
+      }
+      pending_.push_back(std::move(pending));
+    }
+  }
+
+  [[nodiscard]] SimTime now() const override { return sys_.engine_.now(); }
+  [[nodiscard]] NodeId home() const override { return home_; }
+  [[nodiscard]] std::vector<gossip::ResourceEntry>& resources() override { return resources_; }
+  [[nodiscard]] const std::vector<PendingWorkflow>& pending() const override { return pending_; }
+
+  [[nodiscard]] double finish_time(const CandidateTask& task,
+                                   const gossip::ResourceEntry& resource) const override {
+    return estimate_finish_time(task.inputs, resource, bandwidth_fn()).finish_s;
+  }
+
+  [[nodiscard]] double exec_time(const CandidateTask& task,
+                                 const gossip::ResourceEntry& resource) const override {
+    return execution_time_s(task.load_mi, resource);
+  }
+
+  void dispatch(const CandidateTask& task, NodeId target) override {
+    auto& wf = sys_.workflows_[static_cast<std::size_t>(task.ref.workflow.get())];
+    auto& rt = wf.tasks[static_cast<std::size_t>(task.ref.task.get())];
+    if (rt.state != TaskState::kSchedulable) {
+      throw std::logic_error("dispatch: task is not a schedule point (dispatched twice?)");
+    }
+    sys_.dispatch_task(wf, task.ref.task, target, task.rpm, task.wf_makespan, task.slack,
+                       task.sufferage);
+    // Algorithm 1 line 15: charge the dispatched load to the local RSS copy.
+    for (auto& r : resources_) {
+      if (r.node == target) {
+        r.load_mi += task.load_mi;
+        break;
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] BandwidthEstimateFn bandwidth_fn() const {
+    const double fallback = averages_.bandwidth_mbps;
+    const auto* landmarks = &sys_.landmarks_;
+    return [landmarks, fallback](NodeId a, NodeId b) {
+      return landmarks->estimate_mbps(a, b, fallback);
+    };
+  }
+
+  GridSystem& sys_;
+  NodeId home_;
+  dag::AverageEstimates averages_;
+  std::vector<gossip::ResourceEntry> resources_;
+  std::vector<PendingWorkflow> pending_;
+};
+
+// ---------------------------------------------------------------------------
+// Construction / submission
+// ---------------------------------------------------------------------------
+
+GridSystem::GridSystem(sim::Engine& engine, const net::Topology& topo,
+                       const net::Routing& routing, const net::LandmarkEstimator& landmarks,
+                       std::vector<double> capacities, Algorithm algorithm, SystemConfig config,
+                       MetricsSink* sink)
+    : engine_(engine),
+      topo_(topo),
+      routing_(routing),
+      landmarks_(landmarks),
+      algorithm_(std::move(algorithm)),
+      config_(config),
+      sink_(sink),
+      rng_(config.seed) {
+  const int n = topo.node_count();
+  if (static_cast<int>(capacities.size()) != n) {
+    throw std::invalid_argument("GridSystem: capacities size != node count");
+  }
+  nodes_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) nodes_.emplace_back(NodeId{i}, capacities[static_cast<std::size_t>(i)]);
+  home_workflows_.resize(static_cast<std::size_t>(n));
+  running_event_.resize(static_cast<std::size_t>(n), 0);
+
+  double cap_sum = 0.0;
+  for (double c : capacities) cap_sum += c;
+  true_averages_.capacity_mips = cap_sum / static_cast<double>(n);
+  true_averages_.bandwidth_mbps = std::max(routing.mean_pair_bandwidth_mbps(), 1e-9);
+
+  if (config_.churn.interval_s <= 0.0) config_.churn.interval_s = config_.scheduling_interval_s;
+
+  auto rng_gossip = rng_.fork("gossip");
+  gossip_ = std::make_unique<gossip::MixedGossipService>(
+      engine_, config_.gossip, n,
+      [this](NodeId id, double& load, double& cap) {
+        const auto& node = nodes_[static_cast<std::size_t>(id.get())];
+        load = node.total_load_mi(engine_.now());
+        cap = node.capacity_mips();
+      },
+      [this](NodeId id) { return nodes_[static_cast<std::size_t>(id.get())].alive(); },
+      [this](NodeId a, NodeId b) { return routing_.latency_s(a, b); },
+      [this](NodeId id) { return landmarks_.local_mean_mbps(id); }, rng_gossip);
+
+  transfers_ = std::make_unique<grid::TransferManager>(
+      engine_, topo_, routing_,
+      config_.fair_sharing ? grid::TransferManager::Mode::kFairSharing
+                           : grid::TransferManager::Mode::kBottleneck);
+
+  churn_ = std::make_unique<grid::ChurnModel>(
+      engine_, config_.churn, n, rng_.fork("churn"),
+      [this](NodeId id) { return nodes_[static_cast<std::size_t>(id.get())].alive(); },
+      [this](NodeId id) { handle_leave(id); }, [this](NodeId id) { handle_join(id); });
+
+  if (algorithm_.make_first) first_phase_ = algorithm_.make_first();
+  second_phase_ = algorithm_.make_second();
+}
+
+GridSystem::~GridSystem() = default;
+
+WorkflowId GridSystem::submit(NodeId home, dag::Workflow wf) {
+  if (!home.valid() || home.get() >= topo_.node_count()) {
+    throw std::out_of_range("submit: invalid home node");
+  }
+  if (config_.churn.dynamic_factor > 0.0 && !churn_->is_stable(home)) {
+    throw std::invalid_argument("submit: home nodes must be stable under churn (paper IV.B)");
+  }
+  wf.normalize();
+  if (auto issues = wf.validate(); !issues.empty()) {
+    throw std::invalid_argument("submit: invalid workflow: " + issues.front());
+  }
+  const WorkflowId id{static_cast<WorkflowId::underlying_type>(workflows_.size())};
+  wf.set_id(id);
+
+  WorkflowInstance inst;
+  inst.id = id;
+  inst.home = home;
+  inst.dag = std::move(wf);
+  inst.submit_time = engine_.now();
+  inst.eft = dag::expected_finish_time(inst.dag, true_averages_);
+  inst.tasks.resize(inst.dag.task_count());
+  for (std::size_t t = 0; t < inst.dag.task_count(); ++t) {
+    const TaskIndex ti{static_cast<TaskIndex::underlying_type>(t)};
+    inst.tasks[t].unfinished_preds = static_cast<int>(inst.dag.predecessors(ti).size());
+    if (inst.tasks[t].unfinished_preds == 0) inst.tasks[t].state = TaskState::kSchedulable;
+  }
+  workflows_.push_back(std::move(inst));
+  home_workflows_[static_cast<std::size_t>(home.get())].push_back(id);
+  return id;
+}
+
+void GridSystem::start() {
+  if (started_) return;
+  started_ = true;
+  // Bootstrap membership (the role a rendezvous server plays in deployment).
+  for (int i = 0; i < topo_.node_count(); ++i) {
+    const NodeId id{i};
+    if (nodes_[static_cast<std::size_t>(i)].alive()) {
+      gossip_->node_joined(id, random_alive_contacts(config_.bootstrap_contacts, id));
+    }
+  }
+  gossip_->start();
+  churn_->start();
+  scheduler_ = std::make_unique<sim::PeriodicProcess>(
+      engine_, config_.first_schedule_at_s, config_.scheduling_interval_s,
+      [this](std::uint64_t) { run_scheduling_cycle(); });
+  scheduler_->start();
+
+  // Full-ahead algorithms schedule *before execution starts* (Section IV.A):
+  // plan everything now and stage the entry tasks immediately.
+  if (algorithm_.full_ahead()) {
+    ensure_full_ahead_plan();
+    for (auto& wf : workflows_) dispatch_planned_ready(wf);
+  }
+}
+
+void GridSystem::run() {
+  start();
+  engine_.run_until(config_.horizon_s);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling cycle (phase 1)
+// ---------------------------------------------------------------------------
+
+void GridSystem::run_scheduling_cycle() {
+  if (config_.reschedule_failed) recover_failed_tasks();
+  if (algorithm_.full_ahead()) {
+    // Late submissions (and churn-rescheduled tasks) still go through the
+    // cycle; the plan itself was made before execution started.
+    ensure_full_ahead_plan();
+    for (auto& wf : workflows_) dispatch_planned_ready(wf);
+  } else {
+    for (int i = 0; i < topo_.node_count(); ++i) {
+      const NodeId home{i};
+      if (!nodes_[static_cast<std::size_t>(i)].alive()) continue;
+      if (home_workflows_[static_cast<std::size_t>(i)].empty()) continue;
+      schedule_home(home);
+    }
+  }
+  sample_cycle();
+}
+
+void GridSystem::schedule_home(NodeId home) {
+  const auto believed = gossip_->averages(home);
+  SystemDispatchContext ctx(
+      *this, home, dag::AverageEstimates{believed.capacity_mips, believed.bandwidth_mbps});
+  if (ctx.resources().empty()) return;  // Algorithm 1 line 9
+  first_phase_->run(ctx);
+}
+
+void GridSystem::ensure_full_ahead_plan() {
+  if (planned_count_ >= workflows_.size()) return;
+  if (!planner_) planner_ = algorithm_.make_planner();
+  // The oracle view the paper grants full-ahead baselines: every alive node
+  // with its true state, true averages, true pairwise bandwidth.
+  PlannerOracle oracle;
+  for (int i = 0; i < topo_.node_count(); ++i) {
+    const auto& node = nodes_[static_cast<std::size_t>(i)];
+    if (!node.alive()) continue;
+    oracle.nodes.push_back(gossip::ResourceEntry{NodeId{i}, node.total_load_mi(engine_.now()),
+                                                 node.capacity_mips(), engine_.now(), 0});
+  }
+  oracle.averages = true_averages_;
+  oracle.bandwidth = [this](NodeId a, NodeId b) { return routing_.bandwidth_mbps(a, b); };
+  std::vector<PlanRequest> requests;
+  for (std::size_t k = planned_count_; k < workflows_.size(); ++k) {
+    auto& wf = workflows_[k];
+    requests.push_back(PlanRequest{wf.id, &wf.dag, wf.home, wf.eft});
+  }
+  planner_->plan(requests, oracle, plan_);
+  planned_count_ = workflows_.size();
+}
+
+void GridSystem::dispatch_planned_ready(WorkflowInstance& wf) {
+  if (wf.done()) return;
+  for (TaskIndex t : schedule_points(wf)) dispatch_planned_task(wf, t);
+}
+
+void GridSystem::dispatch_planned_task(WorkflowInstance& wf, TaskIndex t) {
+  const TaskRef ref{wf.id, t};
+  const auto it = plan_.find(ref);
+  assert(it != plan_.end() && "full-ahead task missing from plan");
+  NodeId target = it->second;
+  if (!nodes_[static_cast<std::size_t>(target.get())].alive()) {
+    if (config_.reschedule_failed) {
+      // Re-map to the alive node with the highest capacity-per-load (the
+      // planner's timelines are stale by now anyway).
+      NodeId best{};
+      double best_score = -1.0;
+      for (int i = 0; i < topo_.node_count(); ++i) {
+        const auto& node = nodes_[static_cast<std::size_t>(i)];
+        if (!node.alive()) continue;
+        const double score = node.capacity_mips() / (1.0 + node.total_load_mi(engine_.now()));
+        if (score > best_score) {
+          best_score = score;
+          best = NodeId{i};
+        }
+      }
+      if (!best.valid()) return;
+      target = best;
+      plan_[ref] = best;
+    } else {
+      fail_task(ref, "planned node departed");
+      return;
+    }
+  }
+  const auto rpm = rest_path_makespans(wf.dag, true_averages_);
+  const double ms = remaining_makespan(rpm, schedule_points(wf));
+  const double r = rpm[static_cast<std::size_t>(t.get())];
+  dispatch_task(wf, t, target, r, ms, ms - r, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch and data movement
+// ---------------------------------------------------------------------------
+
+void GridSystem::dispatch_task(WorkflowInstance& wf, TaskIndex task, NodeId target, double rpm,
+                               double makespan, double slack, double sufferage) {
+  auto& rt = wf.tasks[static_cast<std::size_t>(task.get())];
+  assert(rt.state == TaskState::kSchedulable);
+  rt.state = TaskState::kDispatched;
+  rt.exec_node = target;
+  rt.dispatched_at = engine_.now();
+  ++tasks_dispatched_;
+
+  const TaskRef ref{wf.id, task};
+  trace_.record(engine_.now(), sim::TraceKind::kDispatch, target, ref);
+
+  grid::ReadyTask ready;
+  ready.ref = ref;
+  ready.load_mi = wf.dag.task(task).load_mi;
+  ready.rpm = rpm;
+  ready.wf_makespan = makespan;
+  ready.slack = slack;
+  ready.sufferage = sufferage;
+
+  const SimTime stamp = rt.dispatched_at;
+  engine_.schedule_in(control_latency(wf.home, target), [this, ref, target, ready, stamp] {
+    // Ignore stale deliveries (the task may have failed or been rescheduled).
+    const auto& rt2 = workflows_[static_cast<std::size_t>(ref.workflow.get())]
+                          .tasks[static_cast<std::size_t>(ref.task.get())];
+    if (rt2.state != TaskState::kDispatched || rt2.exec_node != target ||
+        rt2.dispatched_at != stamp) {
+      return;
+    }
+    deliver_dispatch(ref, target, ready);
+  });
+}
+
+void GridSystem::deliver_dispatch(TaskRef ref, NodeId target, grid::ReadyTask ready) {
+  auto& wf = workflows_[static_cast<std::size_t>(ref.workflow.get())];
+  auto& node = nodes_[static_cast<std::size_t>(target.get())];
+  if (!node.alive()) {
+    fail_task(ref, "target departed before task arrived");
+    return;
+  }
+
+  // Collect the input transfers: dependent data from each precedent's
+  // execution site plus the task image from the home node (step 8 in Fig. 1).
+  // When a precedent's node departed and the home retains outputs (result
+  // collection), the data is fetched from the home node instead.
+  struct Src {
+    NodeId from;
+    double mb;
+  };
+  std::vector<Src> sources;
+  for (TaskIndex p : wf.dag.predecessors(ref.task)) {
+    const auto& prt = wf.tasks[static_cast<std::size_t>(p.get())];
+    assert(prt.state == TaskState::kFinished);
+    NodeId source = prt.exec_node;
+    if (!nodes_[static_cast<std::size_t>(source.get())].alive()) {
+      if (!config_.home_keeps_outputs) {
+        fail_task(ref, "input data lost with departed node");
+        return;
+      }
+      source = wf.home;
+    }
+    sources.push_back(Src{source, wf.dag.edge_data(p, ref.task)});
+  }
+  sources.push_back(Src{wf.home, wf.dag.task(ref.task).image_mb});
+
+  ready.arrived_at = engine_.now();
+  ready.arrival_seq = arrival_seq_++;
+  ready.pending_inputs = static_cast<int>(sources.size());
+  node.add_ready(ready);
+
+  auto& ids = task_transfers_[ref];
+  ids.clear();
+  for (const Src& src : sources) {
+    start_input_transfer(ref, target, src.from, src.mb);
+  }
+  (void)ids;
+}
+
+void GridSystem::start_input_transfer(TaskRef ref, NodeId target, NodeId source, double mb) {
+  const NodeId home = workflows_[static_cast<std::size_t>(ref.workflow.get())].home;
+  trace_.record(engine_.now(), sim::TraceKind::kTransferStart, source, ref);
+  const auto tid = transfers_->start(
+      source, target, mb, [this, ref, target, source, mb, home](bool success) {
+        auto& wf2 = workflows_[static_cast<std::size_t>(ref.workflow.get())];
+        auto& rt2 = wf2.tasks[static_cast<std::size_t>(ref.task.get())];
+        if (rt2.state != TaskState::kDispatched || rt2.exec_node != target) return;
+        if (!success) {
+          // The source died mid-transfer. With result collection the data is
+          // still available at the (stable) home node: restart from there.
+          if (config_.home_keeps_outputs && source != home &&
+              nodes_[static_cast<std::size_t>(target.get())].alive()) {
+            start_input_transfer(ref, target, home, mb);
+            return;
+          }
+          fail_task(ref, "input transfer aborted");
+          return;
+        }
+        trace_.record(engine_.now(), sim::TraceKind::kTransferEnd, target, ref);
+        auto* rd = nodes_[static_cast<std::size_t>(target.get())].find_ready(ref);
+        if (rd == nullptr) return;  // defensive: vanished via churn cleanup
+        if (--rd->pending_inputs == 0) {
+          rd->data_ready_at = engine_.now();
+          task_transfers_.erase(ref);
+          try_start_task(target);
+        }
+      });
+  task_transfers_[ref].push_back(tid);
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: ready-set scheduling and execution
+// ---------------------------------------------------------------------------
+
+void GridSystem::try_start_task(NodeId id) {
+  auto& node = nodes_[static_cast<std::size_t>(id.get())];
+  if (!node.alive() || node.busy()) return;
+  const auto candidates = node.data_complete();
+  if (candidates.empty()) return;
+
+  const std::size_t pick = second_phase_->select(candidates);  // Algorithm 2
+  const TaskRef ref = candidates[pick]->ref;
+  const double duration = node.start_running(ref, engine_.now());
+
+  auto& wf = workflows_[static_cast<std::size_t>(ref.workflow.get())];
+  auto& rt = wf.tasks[static_cast<std::size_t>(ref.task.get())];
+  rt.state = TaskState::kRunning;
+  rt.started_at = engine_.now();
+  if (ref.task == wf.dag.entry() && wf.entry_started_at == kNoTime) {
+    wf.entry_started_at = engine_.now();
+  }
+  trace_.record(engine_.now(), sim::TraceKind::kExecStart, id, ref);
+
+  running_event_[static_cast<std::size_t>(id.get())] =
+      engine_.schedule_in(duration, [this, id] { on_task_complete(id); });
+}
+
+void GridSystem::on_task_complete(NodeId id) {
+  auto& node = nodes_[static_cast<std::size_t>(id.get())];
+  const grid::ReadyTask done = node.finish_running();
+  const TaskRef ref = done.ref;
+
+  auto& wf = workflows_[static_cast<std::size_t>(ref.workflow.get())];
+  auto& rt = wf.tasks[static_cast<std::size_t>(ref.task.get())];
+  rt.state = TaskState::kFinished;
+  rt.finished_at = engine_.now();
+  ++wf.finished_tasks;
+  trace_.record(engine_.now(), sim::TraceKind::kExecEnd, id, ref);
+
+  // Completion notification back to the home node (control message).
+  const SimTime finished_at = engine_.now();
+  engine_.schedule_in(control_latency(id, wf.home), [this, ref, finished_at] {
+    on_task_finished_at_home(ref, finished_at);
+  });
+
+  try_start_task(id);
+}
+
+void GridSystem::on_task_finished_at_home(TaskRef ref, SimTime finished_at) {
+  auto& wf = workflows_[static_cast<std::size_t>(ref.workflow.get())];
+  if (wf.done()) return;
+
+  // Successors whose precedents are now all finished become schedule points.
+  // Just-in-time algorithms dispatch them at the next scheduling cycle;
+  // full-ahead algorithms already decided the mapping before execution
+  // started, so their tasks flow to the planned node immediately.
+  for (TaskIndex s : wf.dag.successors(ref.task)) {
+    auto& srt = wf.tasks[static_cast<std::size_t>(s.get())];
+    if (srt.state != TaskState::kWaiting) continue;
+    if (--srt.unfinished_preds == 0) {
+      srt.state = TaskState::kSchedulable;
+      if (algorithm_.full_ahead()) dispatch_planned_task(wf, s);
+    }
+  }
+
+  if (ref.task == wf.dag.exit()) {
+    wf.finished_at = finished_at;
+    ++finished_workflows_;
+    trace_.record(engine_.now(), sim::TraceKind::kWorkflowDone, wf.home, ref);
+    if (sink_ != nullptr) {
+      WorkflowReport report;
+      report.id = wf.id;
+      report.home = wf.home;
+      report.submit_time = wf.submit_time;
+      report.entry_start_time = wf.entry_started_at;
+      report.finish_time = finished_at;
+      report.eft = wf.eft;
+      sink_->on_workflow_finished(report);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling and churn
+// ---------------------------------------------------------------------------
+
+void GridSystem::fail_task(TaskRef ref, const char* reason) {
+  auto& wf = workflows_[static_cast<std::size_t>(ref.workflow.get())];
+  auto& rt = wf.tasks[static_cast<std::size_t>(ref.task.get())];
+  if (rt.state == TaskState::kFinished || rt.state == TaskState::kFailed) return;
+  const TaskState old_state = rt.state;
+  rt.state = TaskState::kFailed;  // set first: cleanup below may re-enter
+  ++wf.failed_tasks;
+  ++tasks_failed_;
+  trace_.record(engine_.now(), sim::TraceKind::kTaskFailed, rt.exec_node, ref, reason);
+
+  if (old_state == TaskState::kRunning) {
+    auto& node = nodes_[static_cast<std::size_t>(rt.exec_node.get())];
+    if (node.running() != nullptr && node.running()->ref == ref) {
+      node.abort_running();
+      engine_.cancel(running_event_[static_cast<std::size_t>(rt.exec_node.get())]);
+    }
+  } else if (old_state == TaskState::kDispatched && rt.exec_node.valid()) {
+    nodes_[static_cast<std::size_t>(rt.exec_node.get())].remove_ready(ref);
+  }
+  if (auto it = task_transfers_.find(ref); it != task_transfers_.end()) {
+    const auto ids = it->second;
+    task_transfers_.erase(it);
+    for (auto tid : ids) transfers_->abort(tid);
+  }
+}
+
+void GridSystem::handle_leave(NodeId id) {
+  auto& node = nodes_[static_cast<std::size_t>(id.get())];
+  if (!node.alive()) return;
+  node.set_alive(false);
+  trace_.record(engine_.now(), sim::TraceKind::kNodeLeave, id);
+
+  // Kill the running task first so fail_task sees a detached CPU.
+  engine_.cancel(running_event_[static_cast<std::size_t>(id.get())]);
+  if (auto running = node.abort_running()) fail_task(running->ref, "node departed (running)");
+
+  for (const auto& ready : node.drain_ready()) fail_task(ready.ref, "node departed (ready set)");
+
+  // Abort remaining transfers that used this node as a data *source*; their
+  // callbacks fail the dependent tasks on other nodes.
+  transfers_->node_left(id);
+  gossip_->node_left(id);
+}
+
+void GridSystem::inject_node_failure(NodeId id) {
+  if (!id.valid() || id.get() >= topo_.node_count()) {
+    throw std::out_of_range("inject_node_failure: invalid node");
+  }
+  handle_leave(id);
+}
+
+void GridSystem::inject_node_rejoin(NodeId id) {
+  if (!id.valid() || id.get() >= topo_.node_count()) {
+    throw std::out_of_range("inject_node_rejoin: invalid node");
+  }
+  handle_join(id);
+}
+
+void GridSystem::handle_join(NodeId id) {
+  auto& node = nodes_[static_cast<std::size_t>(id.get())];
+  if (node.alive()) return;
+  node.set_alive(true);
+  trace_.record(engine_.now(), sim::TraceKind::kNodeJoin, id);
+  gossip_->node_joined(id, random_alive_contacts(config_.bootstrap_contacts, id));
+}
+
+std::vector<NodeId> GridSystem::random_alive_contacts(int count, NodeId exclude) {
+  std::vector<NodeId> alive;
+  alive.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    if (node.alive() && node.id() != exclude) alive.push_back(node.id());
+  }
+  rng_.shuffle(alive);
+  if (static_cast<int>(alive.size()) > count) alive.resize(static_cast<std::size_t>(count));
+  return alive;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+std::vector<TaskIndex> GridSystem::schedule_points(const WorkflowInstance& wf) const {
+  std::vector<TaskIndex> sps;
+  for (std::size_t t = 0; t < wf.tasks.size(); ++t) {
+    if (wf.tasks[t].state == TaskState::kSchedulable) {
+      sps.push_back(TaskIndex{static_cast<TaskIndex::underlying_type>(t)});
+    }
+  }
+  return sps;
+}
+
+double GridSystem::control_latency(NodeId a, NodeId b) const {
+  if (a == b) return 0.0;
+  const double lat = routing_.latency_s(a, b);
+  return std::isfinite(lat) ? lat : 0.0;
+}
+
+TaskEstimateInputs GridSystem::estimate_inputs(const WorkflowInstance& wf, TaskIndex task) const {
+  TaskEstimateInputs inputs;
+  inputs.load_mi = wf.dag.task(task).load_mi;
+  for (TaskIndex p : wf.dag.predecessors(task)) {
+    const auto& prt = wf.tasks[static_cast<std::size_t>(p.get())];
+    const double data = wf.dag.edge_data(p, task);
+    if (data <= 0.0 || !prt.exec_node.valid()) continue;
+    NodeId source = prt.exec_node;
+    if (config_.home_keeps_outputs &&
+        !nodes_[static_cast<std::size_t>(source.get())].alive()) {
+      source = wf.home;  // result collection: data survives at the home node
+    }
+    inputs.inputs.push_back(InputSource{source, data});
+  }
+  const double image = wf.dag.task(task).image_mb;
+  if (image > 0.0) inputs.inputs.push_back(InputSource{wf.home, image});
+  return inputs;
+}
+
+void GridSystem::sample_cycle() {
+  if (sink_ == nullptr) return;
+  CycleSample sample;
+  sample.time = engine_.now();
+  sample.workflows_finished = finished_workflows_;
+  sample.tasks_failed = tasks_failed_;
+  sample.mean_rss_size = gossip_->mean_rss_size();
+  sample.mean_idle_known = gossip_->mean_idle_known();
+  sample.alive_nodes = alive_count();
+  sink_->on_cycle(sample);
+}
+
+const WorkflowInstance& GridSystem::workflow(WorkflowId id) const {
+  return workflows_.at(static_cast<std::size_t>(id.get()));
+}
+
+const grid::GridNode& GridSystem::node(NodeId id) const {
+  return nodes_.at(static_cast<std::size_t>(id.get()));
+}
+
+std::size_t GridSystem::alive_count() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) n += node.alive() ? 1 : 0;
+  return n;
+}
+
+}  // namespace dpjit::core

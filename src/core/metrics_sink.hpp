@@ -1,0 +1,51 @@
+// Observer interface the grid system reports through. The exp library
+// implements it; keeping the interface here avoids a core -> exp dependency.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace dpjit::core {
+
+/// Summary of one finished workflow, delivered when the home node learns of
+/// the exit task's completion.
+struct WorkflowReport {
+  WorkflowId id;
+  NodeId home;
+  SimTime submit_time = 0.0;
+  /// When the entry task started executing (paper: ct is counted from the
+  /// start of the entry task).
+  SimTime entry_start_time = 0.0;
+  /// When the exit task finished executing.
+  SimTime finish_time = 0.0;
+  /// Expected finish-time eft(f) under true system averages (Eq. 1).
+  double eft = 0.0;
+
+  /// ct(f): completion/response time per the paper's definition.
+  [[nodiscard]] double completion_time() const { return finish_time - entry_start_time; }
+  /// Response time including the initial scheduling wait.
+  [[nodiscard]] double response_time() const { return finish_time - submit_time; }
+  /// e(f) = eft / ct (Eq. 1).
+  [[nodiscard]] double efficiency() const {
+    const double ct = completion_time();
+    return ct > 0.0 ? eft / ct : 0.0;
+  }
+};
+
+/// Periodic sample taken at every scheduling cycle.
+struct CycleSample {
+  SimTime time = 0.0;
+  std::size_t workflows_finished = 0;
+  std::size_t tasks_failed = 0;
+  double mean_rss_size = 0.0;
+  double mean_idle_known = 0.0;
+  std::size_t alive_nodes = 0;
+};
+
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void on_workflow_finished(const WorkflowReport& report) = 0;
+  virtual void on_cycle(const CycleSample& sample) = 0;
+};
+
+}  // namespace dpjit::core

@@ -1,0 +1,104 @@
+#include "core/policies/batch_heuristics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dpjit::core {
+namespace {
+
+/// Per-candidate evaluation against the current resource working copy.
+struct Evaluated {
+  const CandidateTask* task = nullptr;
+  int best_resource = -1;
+  double best_ft = kInf;
+  double second_ft = kInf;  // second-best finish time (for sufferage)
+};
+
+Evaluated evaluate(DispatchContext& ctx, const CandidateTask& task) {
+  Evaluated e;
+  e.task = &task;
+  const auto& resources = ctx.resources();
+  for (std::size_t i = 0; i < resources.size(); ++i) {
+    const double ft = ctx.finish_time(task, resources[i]);
+    if (ft < e.best_ft) {
+      e.second_ft = e.best_ft;
+      e.best_ft = ft;
+      e.best_resource = static_cast<int>(i);
+    } else if (ft < e.second_ft) {
+      e.second_ft = ft;
+    }
+  }
+  return e;
+}
+
+/// The shared batch loop. `pick` selects the next candidate to dispatch from
+/// the freshly evaluated set. `stamp_sufferage` records the sufferage value on
+/// the dispatched copy (used only by SufferagePolicy).
+template <typename Pick>
+void batch_dispatch(DispatchContext& ctx, Pick pick, bool stamp_sufferage) {
+  std::vector<const CandidateTask*> remaining;
+  for (const auto& wf : ctx.pending()) {
+    for (const auto& t : wf.tasks) remaining.push_back(&t);
+  }
+  while (!remaining.empty()) {
+    std::vector<Evaluated> evals;
+    evals.reserve(remaining.size());
+    for (const CandidateTask* t : remaining) evals.push_back(evaluate(ctx, *t));
+    const std::size_t chosen = pick(evals);
+    const Evaluated& e = evals[chosen];
+    if (e.best_resource < 0) return;  // no resources known: nothing dispatchable
+    CandidateTask copy = *e.task;
+    if (stamp_sufferage) {
+      copy.sufferage = std::isfinite(e.second_ft) ? e.second_ft - e.best_ft : 0.0;
+    }
+    ctx.dispatch(copy, ctx.resources()[static_cast<std::size_t>(e.best_resource)].node);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(chosen));
+  }
+}
+
+}  // namespace
+
+void MinMinPolicy::run(DispatchContext& ctx) {
+  batch_dispatch(
+      ctx,
+      [](const std::vector<Evaluated>& evals) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < evals.size(); ++i) {
+          if (evals[i].best_ft < evals[best].best_ft) best = i;
+        }
+        return best;
+      },
+      /*stamp_sufferage=*/false);
+}
+
+void MaxMinPolicy::run(DispatchContext& ctx) {
+  batch_dispatch(
+      ctx,
+      [](const std::vector<Evaluated>& evals) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < evals.size(); ++i) {
+          if (evals[i].best_ft > evals[best].best_ft) best = i;
+        }
+        return best;
+      },
+      /*stamp_sufferage=*/false);
+}
+
+void SufferagePolicy::run(DispatchContext& ctx) {
+  batch_dispatch(
+      ctx,
+      [](const std::vector<Evaluated>& evals) {
+        auto sufferage_of = [](const Evaluated& e) {
+          return std::isfinite(e.second_ft) ? e.second_ft - e.best_ft : 0.0;
+        };
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < evals.size(); ++i) {
+          if (sufferage_of(evals[i]) > sufferage_of(evals[best])) best = i;
+        }
+        return best;
+      },
+      /*stamp_sufferage=*/true);
+}
+
+}  // namespace dpjit::core

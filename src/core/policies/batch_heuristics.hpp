@@ -1,0 +1,38 @@
+// Decentralized min-min, max-min and sufferage first-phase policies,
+// adapted from Maheswaran et al. (HCW'99) [18] as the paper describes:
+// the classic batch-mode heuristics applied to the home node's current
+// schedule-point set against its gossiped resource view.
+//
+// All three share the same loop: compute each unscheduled candidate's best
+// (minimum-FT) resource, pick one candidate by the heuristic's criterion,
+// dispatch it, update the resource working copy, repeat.
+#pragma once
+
+#include "core/dispatch.hpp"
+
+namespace dpjit::core {
+
+/// min-min: dispatch first the task whose best finish time is smallest.
+class MinMinPolicy final : public FirstPhasePolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "minmin"; }
+  void run(DispatchContext& ctx) override;
+};
+
+/// max-min: dispatch first the task whose best finish time is largest.
+class MaxMinPolicy final : public FirstPhasePolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "maxmin"; }
+  void run(DispatchContext& ctx) override;
+};
+
+/// sufferage: dispatch first the task that would suffer most from not getting
+/// its best node (largest second-best minus best finish time). The sufferage
+/// value is stamped on the task so the second phase (LSF) can reuse it.
+class SufferagePolicy final : public FirstPhasePolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "sufferage"; }
+  void run(DispatchContext& ctx) override;
+};
+
+}  // namespace dpjit::core

@@ -1,0 +1,23 @@
+#include "core/policies/dheft.hpp"
+
+#include <algorithm>
+
+namespace dpjit::core {
+
+void DheftPolicy::run(DispatchContext& ctx) {
+  std::vector<const CandidateTask*> tasks;
+  for (const auto& wf : ctx.pending()) {
+    for (const auto& t : wf.tasks) tasks.push_back(&t);
+  }
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [](const CandidateTask* a, const CandidateTask* b) {
+                     return a->rpm > b->rpm;
+                   });
+  for (const CandidateTask* t : tasks) {
+    const int r = select_min_ft(ctx, *t);
+    if (r < 0) continue;
+    ctx.dispatch(*t, ctx.resources()[static_cast<std::size_t>(r)].node);
+  }
+}
+
+}  // namespace dpjit::core

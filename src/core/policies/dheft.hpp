@@ -1,0 +1,18 @@
+// Decentralized HEFT (DHEFT) first-phase policy, paper Section IV.A:
+// "applies a longest RPM first policy at both scheduling phases".
+// All schedule points across workflows are ordered by descending RPM - the
+// HEFT upward-rank order - ignoring the workflows' remaining makespans, which
+// is exactly the behaviour DSMF improves upon.
+#pragma once
+
+#include "core/dispatch.hpp"
+
+namespace dpjit::core {
+
+class DheftPolicy final : public FirstPhasePolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "dheft"; }
+  void run(DispatchContext& ctx) override;
+};
+
+}  // namespace dpjit::core

@@ -1,0 +1,18 @@
+// Dynamic shortest deadline first (DSDF), paper Section IV.A: "schedules tasks
+// with the shortest deadlines (defined as the difference between its rest path
+// makespan and its workflow's makespan) to run first at both phases". The
+// difference ms(f) - RPM(t) is the task's slack toward the workflow's critical
+// path: tasks on the critical path have slack 0 (tightest deadline).
+#pragma once
+
+#include "core/dispatch.hpp"
+
+namespace dpjit::core {
+
+class DsdfPolicy final : public FirstPhasePolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "dsdf"; }
+  void run(DispatchContext& ctx) override;
+};
+
+}  // namespace dpjit::core

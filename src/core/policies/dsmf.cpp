@@ -1,0 +1,35 @@
+#include "core/policies/dsmf.hpp"
+
+#include <algorithm>
+
+namespace dpjit::core {
+
+void DsmfPolicy::run(DispatchContext& ctx) {
+  // Line 8: ascending remaining makespan; stable so equal makespans keep
+  // submission order.
+  std::vector<const PendingWorkflow*> order;
+  order.reserve(ctx.pending().size());
+  for (const auto& p : ctx.pending()) order.push_back(&p);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const PendingWorkflow* a, const PendingWorkflow* b) {
+                     return a->makespan < b->makespan;
+                   });
+
+  for (const PendingWorkflow* wf : order) {
+    // Line 11: schedule points in descending RPM.
+    std::vector<const CandidateTask*> tasks;
+    tasks.reserve(wf->tasks.size());
+    for (const auto& t : wf->tasks) tasks.push_back(&t);
+    std::stable_sort(tasks.begin(), tasks.end(),
+                     [](const CandidateTask* a, const CandidateTask* b) {
+                       return a->rpm > b->rpm;
+                     });
+    for (const CandidateTask* t : tasks) {
+      const int r = select_min_ft(ctx, *t);  // Line 13, Formula (9)
+      if (r < 0) continue;                   // Line 9: empty RSS - skip
+      ctx.dispatch(*t, ctx.resources()[static_cast<std::size_t>(r)].node);  // Lines 14-15
+    }
+  }
+}
+
+}  // namespace dpjit::core

@@ -1,0 +1,19 @@
+// DSMF first-phase policy - the paper's Algorithm 1.
+//
+// Workflows are handled in ascending order of remaining makespan ms(f)
+// (dynamic *shortest makespan* first); within a workflow, schedule points in
+// descending RPM order; each task goes to the resource node with the earliest
+// estimated finish time (Formula 9).
+#pragma once
+
+#include "core/dispatch.hpp"
+
+namespace dpjit::core {
+
+class DsmfPolicy final : public FirstPhasePolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "dsmf"; }
+  void run(DispatchContext& ctx) override;
+};
+
+}  // namespace dpjit::core

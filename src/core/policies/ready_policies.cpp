@@ -1,0 +1,96 @@
+#include "core/policies/ready_policies.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dpjit::core {
+namespace {
+
+/// True when `a` beats `b`. All comparators end on arrival_seq for determinism.
+using Better = bool (*)(const grid::ReadyTask& a, const grid::ReadyTask& b);
+
+bool fcfs_better(const grid::ReadyTask& a, const grid::ReadyTask& b) {
+  return a.arrival_seq < b.arrival_seq;
+}
+
+bool dsmf_better(const grid::ReadyTask& a, const grid::ReadyTask& b) {
+  // Formula (10): smallest workflow remaining makespan; Algorithm 2 lines 3-5:
+  // ties broken by the longest RPM.
+  if (a.wf_makespan != b.wf_makespan) return a.wf_makespan < b.wf_makespan;
+  if (a.rpm != b.rpm) return a.rpm > b.rpm;
+  return fcfs_better(a, b);
+}
+
+bool lrpm_better(const grid::ReadyTask& a, const grid::ReadyTask& b) {
+  if (a.rpm != b.rpm) return a.rpm > b.rpm;
+  return fcfs_better(a, b);
+}
+
+bool slack_better(const grid::ReadyTask& a, const grid::ReadyTask& b) {
+  if (a.slack != b.slack) return a.slack < b.slack;
+  return fcfs_better(a, b);
+}
+
+bool stf_better(const grid::ReadyTask& a, const grid::ReadyTask& b) {
+  if (a.load_mi != b.load_mi) return a.load_mi < b.load_mi;
+  return fcfs_better(a, b);
+}
+
+bool ltf_better(const grid::ReadyTask& a, const grid::ReadyTask& b) {
+  if (a.load_mi != b.load_mi) return a.load_mi > b.load_mi;
+  return fcfs_better(a, b);
+}
+
+bool lsf_better(const grid::ReadyTask& a, const grid::ReadyTask& b) {
+  if (a.sufferage != b.sufferage) return a.sufferage > b.sufferage;
+  return fcfs_better(a, b);
+}
+
+class ComparatorPolicy final : public ReadyQueuePolicy {
+ public:
+  ComparatorPolicy(std::string_view name, Better better) : name_(name), better_(better) {}
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  [[nodiscard]] std::size_t select(
+      const std::vector<const grid::ReadyTask*>& candidates) const override {
+    if (candidates.empty()) throw std::logic_error("ReadyQueuePolicy::select: empty candidates");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      if (better_(*candidates[i], *candidates[best])) best = i;
+    }
+    return best;
+  }
+
+ private:
+  std::string_view name_;
+  Better better_;
+};
+
+struct Entry {
+  std::string_view name;
+  Better better;
+};
+
+constexpr Entry kPolicies[] = {
+    {"dsmf", dsmf_better}, {"lrpm", lrpm_better}, {"slack", slack_better},
+    {"stf", stf_better},   {"ltf", ltf_better},   {"lsf", lsf_better},
+    {"fcfs", fcfs_better},
+};
+
+}  // namespace
+
+std::unique_ptr<ReadyQueuePolicy> make_ready_policy(std::string_view name) {
+  for (const Entry& e : kPolicies) {
+    if (e.name == name) return std::make_unique<ComparatorPolicy>(e.name, e.better);
+  }
+  throw std::invalid_argument("unknown ready policy: " + std::string(name));
+}
+
+std::vector<std::string_view> ready_policy_names() {
+  std::vector<std::string_view> names;
+  for (const Entry& e : kPolicies) names.push_back(e.name);
+  return names;
+}
+
+}  // namespace dpjit::core

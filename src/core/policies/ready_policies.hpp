@@ -1,0 +1,44 @@
+// Second-phase (ready-set) scheduling policies, paper Algorithm 2 and the
+// pairings of Section IV.A.
+//
+// When a resource node's CPU frees, the policy picks the next task among the
+// ready tasks whose inputs have all arrived. Every policy is a total order on
+// the stamped task attributes; ties always fall back to arrival order so the
+// choice is deterministic.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "grid/grid_node.hpp"
+
+namespace dpjit::core {
+
+class ReadyQueuePolicy {
+ public:
+  virtual ~ReadyQueuePolicy() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Picks from a non-empty set of data-complete ready tasks; returns an index
+  /// into `candidates`.
+  [[nodiscard]] virtual std::size_t select(
+      const std::vector<const grid::ReadyTask*>& candidates) const = 0;
+};
+
+/// Factory by name. Known policies:
+///  - "dsmf"  : smallest workflow makespan first; tie -> longest RPM
+///              (Algorithm 2 / Formula 10);
+///  - "lrpm"  : longest RPM first (DHEFT's second phase);
+///  - "slack" : shortest slack (= deadline) first (DSDF's second phase);
+///  - "stf"   : shortest task first (paired with min-min);
+///  - "ltf"   : longest task first (paired with max-min);
+///  - "lsf"   : largest sufferage first (paired with sufferage);
+///  - "fcfs"  : arrival order (full-ahead HEFT/SMF; also the paper's
+///              second-phase-less baselines).
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<ReadyQueuePolicy> make_ready_policy(std::string_view name);
+
+/// All known ready-policy names (for tests and CLIs).
+[[nodiscard]] std::vector<std::string_view> ready_policy_names();
+
+}  // namespace dpjit::core

@@ -1,0 +1,88 @@
+#include "core/policy_registry.hpp"
+
+#include <stdexcept>
+
+#include "core/policies/batch_heuristics.hpp"
+#include "core/policies/dheft.hpp"
+#include "core/policies/dsdf.hpp"
+#include "core/policies/dsmf.hpp"
+
+namespace dpjit::core {
+namespace {
+
+template <typename P>
+std::function<std::unique_ptr<FirstPhasePolicy>()> first() {
+  return [] { return std::make_unique<P>(); };
+}
+
+std::function<std::unique_ptr<ReadyQueuePolicy>()> second(std::string_view name) {
+  return [name] { return make_ready_policy(name); };
+}
+
+}  // namespace
+
+Algorithm make_algorithm(std::string_view name) {
+  Algorithm a;
+  a.name = std::string(name);
+  if (name == "dsmf") {
+    a.make_first = first<DsmfPolicy>();
+    a.make_second = second("dsmf");
+  } else if (name == "dheft") {
+    a.make_first = first<DheftPolicy>();
+    a.make_second = second("lrpm");
+  } else if (name == "dsdf") {
+    a.make_first = first<DsdfPolicy>();
+    a.make_second = second("slack");
+  } else if (name == "minmin") {
+    a.make_first = first<MinMinPolicy>();
+    a.make_second = second("stf");
+  } else if (name == "maxmin") {
+    a.make_first = first<MaxMinPolicy>();
+    a.make_second = second("ltf");
+  } else if (name == "sufferage") {
+    a.make_first = first<SufferagePolicy>();
+    a.make_second = second("lsf");
+  } else if (name == "heft") {
+    a.make_planner = [] { return std::make_unique<HeftPlanner>(); };
+    a.make_second = second("fcfs");
+  } else if (name == "smf") {
+    a.make_planner = [] { return std::make_unique<SmfPlanner>(); };
+    a.make_second = second("fcfs");
+  } else if (name == "heft-la") {
+    a.make_planner = [] { return std::make_unique<LookaheadHeftPlanner>(); };
+    a.make_second = second("fcfs");
+  } else if (name == "dsmf-fcfs") {
+    a.make_first = first<DsmfPolicy>();
+    a.make_second = second("fcfs");
+  } else if (name == "dheft-fcfs") {
+    a.make_first = first<DheftPolicy>();
+    a.make_second = second("fcfs");
+  } else if (name == "minmin-fcfs") {
+    a.make_first = first<MinMinPolicy>();
+    a.make_second = second("fcfs");
+  } else if (name == "maxmin-fcfs") {
+    a.make_first = first<MaxMinPolicy>();
+    a.make_second = second("fcfs");
+  } else if (name == "sufferage-fcfs") {
+    a.make_first = first<SufferagePolicy>();
+    a.make_second = second("fcfs");
+  } else {
+    throw std::invalid_argument("unknown algorithm: " + std::string(name));
+  }
+  return a;
+}
+
+std::vector<std::string> paper_algorithms() {
+  return {"dheft", "heft", "maxmin", "minmin", "dsdf", "sufferage", "dsmf", "smf"};
+}
+
+std::vector<std::string> all_algorithms() {
+  auto names = paper_algorithms();
+  for (const char* v : {"dsmf-fcfs", "dheft-fcfs", "minmin-fcfs", "maxmin-fcfs",
+                        "sufferage-fcfs", "heft-la"}) {
+    names.emplace_back(v);
+  }
+  return names;
+}
+
+}  // namespace dpjit::core

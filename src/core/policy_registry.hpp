@@ -1,0 +1,47 @@
+// Algorithm registry: the eight algorithms of the paper's evaluation
+// (Section IV.A), plus the "-fcfs" variants used for the second-phase
+// ablation reported in the text of Section IV.B.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dispatch.hpp"
+#include "core/fullahead/planner.hpp"
+#include "core/policies/ready_policies.hpp"
+
+namespace dpjit::core {
+
+/// A complete scheduling algorithm: either a just-in-time first-phase policy
+/// or a full-ahead planner, plus a second-phase ready policy.
+struct Algorithm {
+  std::string name;
+  /// Non-null for just-in-time algorithms (DSMF, DHEFT, DSDF, min-min,
+  /// max-min, sufferage).
+  std::function<std::unique_ptr<FirstPhasePolicy>()> make_first;
+  /// Non-null for full-ahead algorithms (HEFT, SMF). One planner is created
+  /// per home node (it carries that home's booking timelines).
+  std::function<std::unique_ptr<FullAheadPlanner>()> make_planner;
+  /// Always non-null.
+  std::function<std::unique_ptr<ReadyQueuePolicy>()> make_second;
+
+  [[nodiscard]] bool full_ahead() const { return static_cast<bool>(make_planner); }
+};
+
+/// Builds an algorithm by name. The eight paper algorithms:
+///   "dsmf", "dheft", "dsdf", "minmin", "maxmin", "sufferage", "heft", "smf".
+/// Second-phase ablation variants (original HCW'99-style, FCFS ready set):
+///   "minmin-fcfs", "maxmin-fcfs", "sufferage-fcfs", "dheft-fcfs", "dsmf-fcfs".
+/// Extension (paper related-work [24]): "heft-la" - lookahead HEFT.
+/// Throws std::invalid_argument on unknown names.
+[[nodiscard]] Algorithm make_algorithm(std::string_view name);
+
+/// The eight algorithms of the paper's figures, in the paper's legend order.
+[[nodiscard]] std::vector<std::string> paper_algorithms();
+
+/// All registered names (including ablation variants).
+[[nodiscard]] std::vector<std::string> all_algorithms();
+
+}  // namespace dpjit::core

@@ -1,0 +1,74 @@
+// Failed-task rescheduling - the paper's stated future work (Section VI:
+// "This issue can be solved by automatically rescheduling the failed tasks at
+// the scheduler nodes"). Implemented as an opt-in extension
+// (SystemConfig::reschedule_failed).
+//
+// At every scheduling cycle the home node scans its workflows for tasks lost
+// to churn and returns them to the schedule-point set. Because there is no
+// checkpointing, a failed task whose input data vanished with a departed node
+// can only be recovered by *re-executing* the precedent that produced the
+// data - so recovery walks upward demoting finished precedents whose
+// execution nodes are gone, until it reaches tasks whose inputs still exist.
+#include <cassert>
+
+#include "core/grid_system.hpp"
+
+namespace dpjit::core {
+
+void GridSystem::recover_failed_tasks() {
+  for (auto& wf : workflows_) {
+    if (wf.done() || wf.failed_tasks == 0) continue;
+    for (std::size_t t = 0; t < wf.tasks.size(); ++t) {
+      if (wf.tasks[t].state == TaskState::kFailed) {
+        recover_task(wf, TaskIndex{static_cast<TaskIndex::underlying_type>(t)}, 0);
+      }
+    }
+  }
+}
+
+void GridSystem::recover_task(WorkflowInstance& wf, TaskIndex task, int depth) {
+  assert(depth <= static_cast<int>(wf.tasks.size()) && "recovery recursion exceeds DAG depth");
+  auto& rt = wf.tasks[static_cast<std::size_t>(task.get())];
+  if (rt.state != TaskState::kFailed) return;
+
+  // Re-execute precedents whose outputs are no longer reachable. With result
+  // collection (home_keeps_outputs) a finished precedent's data is always
+  // available at the home node, so no re-execution is ever needed.
+  for (TaskIndex p : wf.dag.predecessors(task)) {
+    auto& prt = wf.tasks[static_cast<std::size_t>(p.get())];
+    if (!config_.home_keeps_outputs && prt.state == TaskState::kFinished &&
+        !nodes_[static_cast<std::size_t>(prt.exec_node.get())].alive()) {
+      // Demote: the data died with the node. Successors other than `task`
+      // that were still waiting on schedule must wait for the re-execution.
+      prt.state = TaskState::kFailed;
+      --wf.finished_tasks;
+      ++wf.failed_tasks;
+      for (TaskIndex s : wf.dag.successors(p)) {
+        auto& srt = wf.tasks[static_cast<std::size_t>(s.get())];
+        if (srt.state == TaskState::kSchedulable) {
+          srt.state = TaskState::kWaiting;
+          ++srt.unfinished_preds;
+        } else if (srt.state == TaskState::kWaiting) {
+          ++srt.unfinished_preds;
+        }
+      }
+    }
+    if (prt.state == TaskState::kFailed) recover_task(wf, p, depth + 1);
+  }
+
+  // Return this task to the just-in-time pipeline.
+  int unfinished = 0;
+  for (TaskIndex p : wf.dag.predecessors(task)) {
+    const auto& prt = wf.tasks[static_cast<std::size_t>(p.get())];
+    if (prt.state != TaskState::kFinished) ++unfinished;
+  }
+  rt.unfinished_preds = unfinished;
+  rt.state = unfinished == 0 ? TaskState::kSchedulable : TaskState::kWaiting;
+  rt.exec_node = NodeId{};
+  rt.dispatched_at = rt.started_at = rt.finished_at = kNoTime;
+  --wf.failed_tasks;
+  ++tasks_rescheduled_;
+  trace_.record(engine_.now(), sim::TraceKind::kReschedule, wf.home, TaskRef{wf.id, task});
+}
+
+}  // namespace dpjit::core

@@ -1,0 +1,22 @@
+#include "core/rpm.hpp"
+
+#include <algorithm>
+
+namespace dpjit::core {
+
+std::vector<double> rest_path_makespans(const dag::Workflow& wf,
+                                        const dag::AverageEstimates& avg) {
+  // RPM == upward rank under system-wide averages (see header).
+  return dag::upward_ranks(wf, avg);
+}
+
+double remaining_makespan(const std::vector<double>& rpm,
+                          const std::vector<TaskIndex>& schedule_points) {
+  double ms = 0.0;
+  for (TaskIndex t : schedule_points) {
+    ms = std::max(ms, rpm[static_cast<std::size_t>(t.get())]);
+  }
+  return ms;
+}
+
+}  // namespace dpjit::core

@@ -1,0 +1,27 @@
+// Rest-path makespan (RPM, Eq. 7) and workflow remaining makespan (Eq. 8).
+//
+// RPM(t) estimates the longest execution time along the paths from task t to
+// the workflow's exit task. The scheduler cannot know where t's offspring will
+// run, so their execution and transmission times are approximated with the
+// system-wide average capacity and bandwidth maintained by the aggregation
+// gossip protocol - which makes RPM exactly the HEFT-style upward rank over
+// average estimates (see the Fig. 3 worked example, reproduced in the tests).
+#pragma once
+
+#include <vector>
+
+#include "dag/critical_path.hpp"
+#include "dag/workflow.hpp"
+
+namespace dpjit::core {
+
+/// RPM of every task of the workflow under average estimates; indexed by task.
+[[nodiscard]] std::vector<double> rest_path_makespans(const dag::Workflow& wf,
+                                                      const dag::AverageEstimates& avg);
+
+/// ms(f) (Eq. 8): the workflow's remaining makespan = max RPM over its
+/// current schedule points. Returns 0 for an empty schedule-point set.
+[[nodiscard]] double remaining_makespan(const std::vector<double>& rpm,
+                                        const std::vector<TaskIndex>& schedule_points);
+
+}  // namespace dpjit::core

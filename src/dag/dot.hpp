@@ -1,0 +1,15 @@
+// Graphviz DOT export for workflows - used by the examples to visualize DAGs
+// and handy when debugging generator output.
+#pragma once
+
+#include <ostream>
+
+#include "dag/workflow.hpp"
+
+namespace dpjit::dag {
+
+/// Writes `wf` as a Graphviz digraph. Vertices show the task name (or index)
+/// and load; edges show the data volume.
+void write_dot(std::ostream& os, const Workflow& wf);
+
+}  // namespace dpjit::dag

@@ -1,0 +1,75 @@
+#include "dag/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dpjit::dag {
+
+void GeneratorParams::validate() const {
+  auto check = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("GeneratorParams: ") + what);
+  };
+  check(min_tasks >= 1 && min_tasks <= max_tasks, "task count bounds");
+  check(min_fanout >= 1 && min_fanout <= max_fanout, "fanout bounds");
+  check(min_load_mi >= 0 && min_load_mi <= max_load_mi, "load bounds");
+  check(min_image_mb >= 0 && min_image_mb <= max_image_mb, "image bounds");
+  check(min_data_mb >= 0 && min_data_mb <= max_data_mb, "data bounds");
+}
+
+Workflow generate_workflow(WorkflowId id, const GeneratorParams& params, util::Rng& rng) {
+  params.validate();
+  Workflow wf(id);
+
+  const int n = static_cast<int>(rng.uniform_int(params.min_tasks, params.max_tasks));
+  std::vector<TaskIndex> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    tasks.push_back(wf.add_task(rng.uniform(params.min_load_mi, params.max_load_mi),
+                                rng.uniform(params.min_image_mb, params.max_image_mb),
+                                "t" + std::to_string(i)));
+  }
+
+  std::vector<int> outdeg(static_cast<std::size_t>(n), 0);
+  auto data = [&] { return rng.uniform(params.min_data_mb, params.max_data_mb); };
+
+  // Phase 1 - connectivity: every task i>0 takes one precedent among the
+  // earlier tasks that still have fan-out budget. During this phase at most
+  // i-1 edges exist among the first i tasks, so a candidate always exists.
+  for (int i = 1; i < n; ++i) {
+    std::vector<int> candidates;
+    for (int j = 0; j < i; ++j) {
+      if (outdeg[static_cast<std::size_t>(j)] < params.max_fanout) candidates.push_back(j);
+    }
+    const int j = candidates[rng.index(candidates.size())];
+    wf.add_dependency(tasks[static_cast<std::size_t>(j)], tasks[static_cast<std::size_t>(i)], data());
+    ++outdeg[static_cast<std::size_t>(j)];
+  }
+
+  // Phase 2 - densification: raise each task's out-degree toward a uniform
+  // target, wiring to distinct later tasks (keeps the topological layout).
+  for (int i = 0; i < n - 1; ++i) {
+    const int target = static_cast<int>(rng.uniform_int(params.min_fanout, params.max_fanout));
+    const int later = n - 1 - i;
+    const int want = std::min(target, later);
+    if (outdeg[static_cast<std::size_t>(i)] >= want) continue;
+    // Later tasks not already successors of i.
+    std::vector<int> pool;
+    for (int k = i + 1; k < n; ++k) {
+      const auto& succ = wf.successors(tasks[static_cast<std::size_t>(i)]);
+      if (std::find(succ.begin(), succ.end(), tasks[static_cast<std::size_t>(k)]) == succ.end()) {
+        pool.push_back(k);
+      }
+    }
+    rng.shuffle(pool);
+    for (int k : pool) {
+      if (outdeg[static_cast<std::size_t>(i)] >= want) break;
+      wf.add_dependency(tasks[static_cast<std::size_t>(i)], tasks[static_cast<std::size_t>(k)], data());
+      ++outdeg[static_cast<std::size_t>(i)];
+    }
+  }
+
+  wf.normalize();
+  return wf;
+}
+
+}  // namespace dpjit::dag

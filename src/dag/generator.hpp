@@ -1,0 +1,40 @@
+// Random workflow generator following the paper's experimental setting
+// (Table I): 2-30 tasks per workflow, per-task fan-out 1-5, loads 100-10000 MI,
+// image sizes 10-100 Mb, dependent data 10-1000 / 100-10000 Mb.
+#pragma once
+
+#include "dag/workflow.hpp"
+#include "util/rng.hpp"
+
+namespace dpjit::dag {
+
+/// Parameters of the random DAG family (defaults = Table I, CCR ~ 0.16 case).
+struct GeneratorParams {
+  int min_tasks = 2;
+  int max_tasks = 30;
+  /// Out-degree bounds for non-exit tasks.
+  int min_fanout = 1;
+  int max_fanout = 5;
+  double min_load_mi = 100.0;
+  double max_load_mi = 10000.0;
+  double min_image_mb = 10.0;
+  double max_image_mb = 100.0;
+  double min_data_mb = 10.0;
+  double max_data_mb = 1000.0;
+
+  /// Throws std::invalid_argument when bounds are inverted or non-positive.
+  void validate() const;
+};
+
+/// Generates a normalized, validated random workflow. Deterministic in `rng`.
+///
+/// Construction: tasks are laid out in a random topological position order;
+/// every non-first task receives at least one precedent (guaranteeing a unique
+/// entry), then extra forward edges are added until each task's out-degree
+/// reaches a uniform target in [min_fanout, max_fanout] (capped by the number
+/// of available later tasks). Multiple exits are merged by a zero-cost
+/// virtual exit task, as the paper prescribes.
+[[nodiscard]] Workflow generate_workflow(WorkflowId id, const GeneratorParams& params,
+                                         util::Rng& rng);
+
+}  // namespace dpjit::dag

@@ -1,0 +1,31 @@
+// Plain-text workflow persistence, so workloads can be saved, inspected and
+// replayed across runs (and exchanged with external tooling).
+//
+// Format (line-oriented, '#' comments allowed):
+//   workflow <id>
+//   task <load_mi> <image_mb> [name]
+//   edge <from_index> <to_index> <data_mb>
+//   end
+// Tasks are numbered in file order starting at 0.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "dag/workflow.hpp"
+
+namespace dpjit::dag {
+
+/// Writes one workflow in the text format above.
+void write_workflow(std::ostream& os, const Workflow& wf);
+
+/// Reads one workflow; throws std::invalid_argument on malformed input and
+/// std::ios_base::failure-like std::invalid_argument on premature EOF.
+[[nodiscard]] Workflow read_workflow(std::istream& is);
+
+/// Writes/reads a whole batch (concatenated single-workflow records).
+void write_workflows(std::ostream& os, const std::vector<Workflow>& wfs);
+[[nodiscard]] std::vector<Workflow> read_workflows(std::istream& is);
+
+}  // namespace dpjit::dag

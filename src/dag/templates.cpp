@@ -1,0 +1,128 @@
+#include "dag/templates.hpp"
+
+#include <stdexcept>
+
+namespace dpjit::dag {
+
+Workflow make_montage(WorkflowId id, int width, const TemplateParams& p) {
+  if (width < 2) throw std::invalid_argument("make_montage: width must be >= 2");
+  Workflow wf(id);
+  // mProject: one reprojection per input image.
+  std::vector<TaskIndex> project;
+  for (int i = 0; i < width; ++i) {
+    project.push_back(wf.add_task(p.load_mi, p.image_mb, "mProject" + std::to_string(i)));
+  }
+  // mDiffFit: background difference between adjacent image pairs.
+  std::vector<TaskIndex> diff;
+  for (int i = 0; i + 1 < width; ++i) {
+    TaskIndex d = wf.add_task(p.load_mi * 0.4, p.image_mb, "mDiffFit" + std::to_string(i));
+    wf.add_dependency(project[static_cast<std::size_t>(i)], d, p.data_mb);
+    wf.add_dependency(project[static_cast<std::size_t>(i) + 1], d, p.data_mb);
+    diff.push_back(d);
+  }
+  // mConcatFit: aggregate all the fit coefficients.
+  TaskIndex concat = wf.add_task(p.load_mi * 0.2, p.image_mb, "mConcatFit");
+  for (TaskIndex d : diff) wf.add_dependency(d, concat, p.data_mb * 0.1);
+  // mBgModel -> per-image mBackground corrections.
+  TaskIndex bgmodel = wf.add_task(p.load_mi * 0.5, p.image_mb, "mBgModel");
+  wf.add_dependency(concat, bgmodel, p.data_mb * 0.1);
+  std::vector<TaskIndex> background;
+  for (int i = 0; i < width; ++i) {
+    TaskIndex b = wf.add_task(p.load_mi * 0.3, p.image_mb, "mBackground" + std::to_string(i));
+    wf.add_dependency(bgmodel, b, p.data_mb * 0.2);
+    wf.add_dependency(project[static_cast<std::size_t>(i)], b, p.data_mb);
+    background.push_back(b);
+  }
+  // mImgtbl + mAdd co-addition, then mShrink/mJPEG tail.
+  TaskIndex add = wf.add_task(p.load_mi * 2.0, p.image_mb, "mAdd");
+  for (TaskIndex b : background) wf.add_dependency(b, add, p.data_mb);
+  TaskIndex shrink = wf.add_task(p.load_mi * 0.3, p.image_mb, "mShrink");
+  wf.add_dependency(add, shrink, p.data_mb * 2.0);
+  TaskIndex jpeg = wf.add_task(p.load_mi * 0.1, p.image_mb, "mJPEG");
+  wf.add_dependency(shrink, jpeg, p.data_mb * 0.5);
+
+  wf.normalize();
+  return wf;
+}
+
+Workflow make_fork_join(WorkflowId id, int levels, int width, const TemplateParams& p) {
+  if (levels < 1 || width < 1) throw std::invalid_argument("make_fork_join: levels/width >= 1");
+  Workflow wf(id);
+  TaskIndex prev_join = wf.add_task(p.load_mi * 0.1, p.image_mb, "source");
+  for (int lv = 0; lv < levels; ++lv) {
+    std::vector<TaskIndex> stage;
+    for (int w = 0; w < width; ++w) {
+      TaskIndex t = wf.add_task(p.load_mi, p.image_mb,
+                                "work" + std::to_string(lv) + "_" + std::to_string(w));
+      wf.add_dependency(prev_join, t, p.data_mb);
+      stage.push_back(t);
+    }
+    TaskIndex join = wf.add_task(p.load_mi * 0.2, p.image_mb, "join" + std::to_string(lv));
+    for (TaskIndex t : stage) wf.add_dependency(t, join, p.data_mb);
+    prev_join = join;
+  }
+  wf.normalize();
+  return wf;
+}
+
+Workflow make_pipeline(WorkflowId id, int length, const TemplateParams& p) {
+  if (length < 1) throw std::invalid_argument("make_pipeline: length >= 1");
+  Workflow wf(id);
+  TaskIndex prev = wf.add_task(p.load_mi, p.image_mb, "stage0");
+  for (int i = 1; i < length; ++i) {
+    TaskIndex t = wf.add_task(p.load_mi, p.image_mb, "stage" + std::to_string(i));
+    wf.add_dependency(prev, t, p.data_mb);
+    prev = t;
+  }
+  wf.normalize();
+  return wf;
+}
+
+Workflow make_diamond(WorkflowId id, double skew, const TemplateParams& p) {
+  if (skew <= 0.0) throw std::invalid_argument("make_diamond: skew must be > 0");
+  Workflow wf(id);
+  TaskIndex a = wf.add_task(p.load_mi * 0.5, p.image_mb, "split");
+  TaskIndex left = wf.add_task(p.load_mi * skew, p.image_mb, "heavy");
+  TaskIndex right = wf.add_task(p.load_mi, p.image_mb, "light");
+  TaskIndex d = wf.add_task(p.load_mi * 0.5, p.image_mb, "merge");
+  wf.add_dependency(a, left, p.data_mb);
+  wf.add_dependency(a, right, p.data_mb);
+  wf.add_dependency(left, d, p.data_mb);
+  wf.add_dependency(right, d, p.data_mb);
+  wf.normalize();
+  return wf;
+}
+
+Workflow make_fig3_workflow_a(WorkflowId id) {
+  Workflow wf(id);
+  auto a1 = wf.add_task(5, 0, "A1");
+  auto a2 = wf.add_task(10, 0, "A2");
+  auto a3 = wf.add_task(20, 0, "A3");
+  auto a4 = wf.add_task(30, 0, "A4");
+  auto a5 = wf.add_task(20, 0, "A5");
+  auto a6 = wf.add_task(10, 0, "A6");
+  wf.add_dependency(a1, a2, 20);
+  wf.add_dependency(a1, a3, 40);
+  wf.add_dependency(a2, a4, 10);
+  wf.add_dependency(a3, a5, 35);
+  wf.add_dependency(a4, a6, 20);
+  wf.add_dependency(a5, a6, 30);
+  return wf;
+}
+
+Workflow make_fig3_workflow_b(WorkflowId id) {
+  Workflow wf(id);
+  auto b1 = wf.add_task(20, 0, "B1");
+  auto b2 = wf.add_task(10, 0, "B2");
+  auto b3 = wf.add_task(40, 0, "B3");
+  auto b4 = wf.add_task(5, 0, "B4");
+  auto b5 = wf.add_task(5, 0, "B5");
+  wf.add_dependency(b1, b2, 10);
+  wf.add_dependency(b1, b3, 10);
+  wf.add_dependency(b2, b4, 40);
+  wf.add_dependency(b3, b5, 15);
+  wf.add_dependency(b4, b5, 5);
+  return wf;
+}
+
+}  // namespace dpjit::dag

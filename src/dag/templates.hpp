@@ -1,0 +1,44 @@
+// Hand-built workflow shapes used by the examples and by directional tests:
+// structured scientific-workflow skeletons (Montage-like mosaicking, fork-join
+// parameter sweeps, linear pipelines, diamonds).
+#pragma once
+
+#include "dag/workflow.hpp"
+
+namespace dpjit::dag {
+
+/// Common scale knobs for the template workflows.
+struct TemplateParams {
+  double load_mi = 1000.0;   ///< typical task load
+  double image_mb = 20.0;    ///< task image size
+  double data_mb = 100.0;    ///< typical edge data volume
+};
+
+/// Montage-style astronomy mosaicking skeleton:
+/// projection fan-out (width) -> pairwise background fitting -> concat model ->
+/// background correction fan-out -> co-addition -> shrink/export tail.
+/// Width >= 2. The DAG shape follows the well-known Montage workflow.
+[[nodiscard]] Workflow make_montage(WorkflowId id, int width, const TemplateParams& p = {});
+
+/// Fork-join: entry forks into `width` parallel tasks per level, joins, and
+/// repeats for `levels` levels. width >= 1, levels >= 1.
+[[nodiscard]] Workflow make_fork_join(WorkflowId id, int levels, int width,
+                                      const TemplateParams& p = {});
+
+/// Linear pipeline of `length` tasks (length >= 1).
+[[nodiscard]] Workflow make_pipeline(WorkflowId id, int length, const TemplateParams& p = {});
+
+/// Diamond: entry -> {left, right} -> exit, with asymmetric branch weights.
+/// `skew` scales the left branch load relative to the right (>0).
+[[nodiscard]] Workflow make_diamond(WorkflowId id, double skew = 2.0, const TemplateParams& p = {});
+
+/// Workflow A of the paper's Fig. 3 worked example:
+/// A1 -> {A2, A3}; A2 -> A4 -> A6; A3 -> A5 -> A6. Under unit average
+/// capacity/bandwidth: RPM(A2) = 80, RPM(A3) = 115 (the published values).
+[[nodiscard]] Workflow make_fig3_workflow_a(WorkflowId id = WorkflowId{0});
+
+/// Workflow B of Fig. 3: B1 -> {B2, B3}; B2 -> B4 -> B5; B3 -> B5.
+/// Under unit averages: RPM(B2) = 65, RPM(B3) = 60.
+[[nodiscard]] Workflow make_fig3_workflow_b(WorkflowId id = WorkflowId{1});
+
+}  // namespace dpjit::dag

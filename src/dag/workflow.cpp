@@ -1,0 +1,160 @@
+#include "dag/workflow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dpjit::dag {
+
+TaskIndex Workflow::add_task(double load_mi, double image_mb, std::string name) {
+  if (load_mi < 0.0 || image_mb < 0.0) {
+    throw std::invalid_argument("task load/image must be non-negative");
+  }
+  tasks_.push_back(Task{load_mi, image_mb, std::move(name)});
+  adj_.emplace_back();
+  return TaskIndex{static_cast<TaskIndex::underlying_type>(tasks_.size() - 1)};
+}
+
+void Workflow::add_dependency(TaskIndex from, TaskIndex to, double data_mb) {
+  if (!from.valid() || !to.valid() || static_cast<std::size_t>(from.get()) >= tasks_.size() ||
+      static_cast<std::size_t>(to.get()) >= tasks_.size()) {
+    throw std::out_of_range("dependency endpoint out of range");
+  }
+  if (from == to) throw std::invalid_argument("self-dependency");
+  if (data_mb < 0.0) throw std::invalid_argument("negative edge data");
+  auto& a = adj_[static_cast<std::size_t>(from.get())];
+  if (std::find(a.succ.begin(), a.succ.end(), to) != a.succ.end()) {
+    throw std::invalid_argument("duplicate dependency edge");
+  }
+  a.succ.push_back(to);
+  a.succ_data.push_back(data_mb);
+  adj_[static_cast<std::size_t>(to.get())].pred.push_back(from);
+  ++edge_count_;
+}
+
+const Task& Workflow::task(TaskIndex t) const {
+  assert(t.valid() && static_cast<std::size_t>(t.get()) < tasks_.size());
+  return tasks_[static_cast<std::size_t>(t.get())];
+}
+
+const std::vector<TaskIndex>& Workflow::predecessors(TaskIndex t) const {
+  assert(t.valid() && static_cast<std::size_t>(t.get()) < adj_.size());
+  return adj_[static_cast<std::size_t>(t.get())].pred;
+}
+
+const std::vector<TaskIndex>& Workflow::successors(TaskIndex t) const {
+  assert(t.valid() && static_cast<std::size_t>(t.get()) < adj_.size());
+  return adj_[static_cast<std::size_t>(t.get())].succ;
+}
+
+double Workflow::edge_data(TaskIndex from, TaskIndex to) const {
+  const auto& a = adj_[static_cast<std::size_t>(from.get())];
+  for (std::size_t i = 0; i < a.succ.size(); ++i) {
+    if (a.succ[i] == to) return a.succ_data[i];
+  }
+  throw std::out_of_range("no such dependency edge");
+}
+
+bool Workflow::is_acyclic() const {
+  return topological_order().size() == tasks_.size();
+}
+
+std::vector<TaskIndex> Workflow::entry_tasks() const {
+  std::vector<TaskIndex> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (adj_[i].pred.empty()) out.push_back(TaskIndex{static_cast<TaskIndex::underlying_type>(i)});
+  }
+  return out;
+}
+
+std::vector<TaskIndex> Workflow::exit_tasks() const {
+  std::vector<TaskIndex> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (adj_[i].succ.empty()) out.push_back(TaskIndex{static_cast<TaskIndex::underlying_type>(i)});
+  }
+  return out;
+}
+
+void Workflow::normalize() {
+  if (tasks_.empty()) return;
+  auto entries = entry_tasks();
+  if (entries.size() > 1) {
+    TaskIndex v = add_task(0.0, 0.0, "virtual-entry");
+    for (TaskIndex e : entries) add_dependency(v, e, 0.0);
+  }
+  auto exits = exit_tasks();
+  if (exits.size() > 1) {
+    TaskIndex v = add_task(0.0, 0.0, "virtual-exit");
+    for (TaskIndex e : exits) add_dependency(e, v, 0.0);
+  }
+}
+
+TaskIndex Workflow::entry() const {
+  auto entries = entry_tasks();
+  if (entries.size() != 1) throw std::logic_error("workflow does not have a unique entry; call normalize()");
+  return entries.front();
+}
+
+TaskIndex Workflow::exit() const {
+  auto exits = exit_tasks();
+  if (exits.size() != 1) throw std::logic_error("workflow does not have a unique exit; call normalize()");
+  return exits.front();
+}
+
+std::vector<TaskIndex> Workflow::topological_order() const {
+  std::vector<std::size_t> indeg(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) indeg[i] = adj_[i].pred.size();
+  std::vector<TaskIndex> order;
+  order.reserve(tasks_.size());
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (indeg[i] == 0) frontier.push_back(i);
+  }
+  // Process in ascending index order for determinism.
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    std::size_t u = frontier[head++];
+    order.push_back(TaskIndex{static_cast<TaskIndex::underlying_type>(u)});
+    for (TaskIndex s : adj_[u].succ) {
+      auto v = static_cast<std::size_t>(s.get());
+      if (--indeg[v] == 0) frontier.push_back(v);
+    }
+  }
+  return order;  // shorter than task_count() iff there is a cycle
+}
+
+double Workflow::total_load_mi() const {
+  double sum = 0.0;
+  for (const auto& t : tasks_) sum += t.load_mi;
+  return sum;
+}
+
+std::vector<std::string> Workflow::validate() const {
+  std::vector<std::string> issues;
+  if (tasks_.empty()) {
+    issues.emplace_back("workflow has no tasks");
+    return issues;
+  }
+  if (!is_acyclic()) issues.emplace_back("workflow contains a cycle");
+  if (entry_tasks().size() != 1) issues.emplace_back("workflow does not have a unique entry task");
+  if (exit_tasks().size() != 1) issues.emplace_back("workflow does not have a unique exit task");
+  // Reachability from the entry set: every task must be on some entry->exit path.
+  std::vector<char> seen(tasks_.size(), 0);
+  std::vector<std::size_t> stack;
+  for (TaskIndex e : entry_tasks()) stack.push_back(static_cast<std::size_t>(e.get()));
+  while (!stack.empty()) {
+    std::size_t u = stack.back();
+    stack.pop_back();
+    if (seen[u]) continue;
+    seen[u] = 1;
+    for (TaskIndex s : adj_[u].succ) stack.push_back(static_cast<std::size_t>(s.get()));
+  }
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (!seen[i]) {
+      issues.push_back("task " + std::to_string(i) + " unreachable from entry");
+    }
+  }
+  return issues;
+}
+
+}  // namespace dpjit::dag

@@ -1,0 +1,103 @@
+// Workflow = directed acyclic graph of tasks (paper Section II.A).
+//
+// Vertices carry the task's computational load (million instructions, MI) and
+// the size of the task image that must be shipped to the executing node;
+// edges carry the amount of dependent data (Mb) the successor must aggregate
+// from the node that executed its precedent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dpjit::dag {
+
+/// One vertex of the workflow DAG.
+struct Task {
+  /// Computational load in million instructions (0 for virtual entry/exit).
+  double load_mi = 0.0;
+  /// Task image size in Mb, transferred from the home node to the resource node.
+  double image_mb = 0.0;
+  /// Optional human-readable label (used by the DOT exporter and examples).
+  std::string name;
+};
+
+/// One directed dependency edge with its data volume.
+struct Dependency {
+  TaskIndex from;
+  TaskIndex to;
+  /// Dependent data (Mb) produced by `from` and consumed by `to`.
+  double data_mb = 0.0;
+};
+
+/// A workflow DAG. Construction is append-only: add tasks, then wire
+/// dependencies; call normalize() to guarantee a unique entry and exit task
+/// (the paper's zero-cost virtual tasks), then validate().
+class Workflow {
+ public:
+  Workflow() = default;
+  explicit Workflow(WorkflowId id) : id_(id) {}
+
+  [[nodiscard]] WorkflowId id() const { return id_; }
+  void set_id(WorkflowId id) { id_ = id; }
+
+  /// Appends a task and returns its index.
+  TaskIndex add_task(double load_mi, double image_mb, std::string name = {});
+
+  /// Adds the dependency edge from -> to carrying `data_mb` of data.
+  /// Requires both indices valid, from != to, and no duplicate edge.
+  void add_dependency(TaskIndex from, TaskIndex to, double data_mb);
+
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+  [[nodiscard]] const Task& task(TaskIndex t) const;
+
+  /// Pre(t): direct precedents of t.
+  [[nodiscard]] const std::vector<TaskIndex>& predecessors(TaskIndex t) const;
+  /// Suc(t): direct successors of t.
+  [[nodiscard]] const std::vector<TaskIndex>& successors(TaskIndex t) const;
+
+  /// Data volume on edge from -> to; requires the edge to exist.
+  [[nodiscard]] double edge_data(TaskIndex from, TaskIndex to) const;
+
+  /// True when the graph has no directed cycle.
+  [[nodiscard]] bool is_acyclic() const;
+
+  /// Ensures a unique entry task and a unique exit task by inserting zero-cost
+  /// virtual tasks when needed (paper Section II.A). Idempotent.
+  void normalize();
+
+  /// The unique entry (no precedents). Requires exactly one to exist.
+  [[nodiscard]] TaskIndex entry() const;
+  /// The unique exit (no successors). Requires exactly one to exist.
+  [[nodiscard]] TaskIndex exit() const;
+
+  /// All tasks with no precedents / no successors (useful before normalize()).
+  [[nodiscard]] std::vector<TaskIndex> entry_tasks() const;
+  [[nodiscard]] std::vector<TaskIndex> exit_tasks() const;
+
+  /// Kahn topological order. Requires acyclicity.
+  [[nodiscard]] std::vector<TaskIndex> topological_order() const;
+
+  /// Total load of all tasks (MI).
+  [[nodiscard]] double total_load_mi() const;
+
+  /// Structural problems (cycles, unreachable tasks, multiple entries/exits,
+  /// negative weights). Empty result means the workflow is well-formed.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+ private:
+  struct Adjacency {
+    std::vector<TaskIndex> succ;
+    std::vector<TaskIndex> pred;
+    std::vector<double> succ_data;  // parallel to succ
+  };
+
+  WorkflowId id_{};
+  std::vector<Task> tasks_;
+  std::vector<Adjacency> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace dpjit::dag

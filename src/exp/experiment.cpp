@@ -1,0 +1,44 @@
+#include "exp/experiment.hpp"
+
+#include <chrono>
+
+namespace dpjit::exp {
+
+ExperimentResult summarize(const World& world, double wall_seconds) {
+  const auto& metrics = world.metrics();
+  const auto& system = world.system();
+  ExperimentResult r;
+  r.algorithm = world.config().algorithm;
+  r.nodes = world.config().nodes;
+  r.workflows_per_node = world.config().workflows_per_node;
+  r.seed = world.config().seed;
+  r.workflows_submitted = system.workflow_count();
+  r.workflows_finished = metrics.finished();
+  r.act = metrics.act();
+  r.ae = metrics.ae();
+  r.mean_response = metrics.mean_response();
+  r.throughput = metrics.throughput_curve();
+  r.act_over_time = metrics.act_curve();
+  r.ae_over_time = metrics.ae_curve();
+  r.converged_rss_size = metrics.converged_rss_size();
+  r.converged_idle_known = metrics.converged_idle_known();
+  r.tasks_dispatched = system.tasks_dispatched();
+  r.tasks_failed = system.tasks_failed();
+  r.tasks_rescheduled = system.tasks_rescheduled();
+  r.gossip_messages = system.gossip_service().messages_sent();
+  r.gossip_bytes = system.gossip_service().bytes_sent();
+  r.wall_seconds = wall_seconds;
+  return r;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  World world(config);
+  world.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  auto result = summarize(world, std::chrono::duration<double>(t1 - t0).count());
+  result.events_processed = world.engine().processed();
+  return result;
+}
+
+}  // namespace dpjit::exp

@@ -1,0 +1,48 @@
+// One-shot experiment execution and its condensed result record.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/workload_factory.hpp"
+
+namespace dpjit::exp {
+
+/// Summary of one simulation run (one algorithm, one configuration).
+struct ExperimentResult {
+  std::string algorithm;
+  int nodes = 0;
+  int workflows_per_node = 0;
+  std::uint64_t seed = 0;
+
+  std::size_t workflows_submitted = 0;
+  std::size_t workflows_finished = 0;
+  /// ACT (Eq. 2) over finished workflows, seconds.
+  double act = 0.0;
+  /// AE (Eq. 3) over finished workflows.
+  double ae = 0.0;
+  /// Mean submission->completion response time, seconds.
+  double mean_response = 0.0;
+
+  std::vector<CurvePoint> throughput;
+  std::vector<CurvePoint> act_over_time;
+  std::vector<CurvePoint> ae_over_time;
+
+  double converged_rss_size = 0.0;
+  double converged_idle_known = 0.0;
+  std::uint64_t tasks_dispatched = 0;
+  std::uint64_t tasks_failed = 0;
+  std::uint64_t tasks_rescheduled = 0;
+  std::uint64_t gossip_messages = 0;
+  std::uint64_t gossip_bytes = 0;
+  std::uint64_t events_processed = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Builds a World from the config, runs it to the horizon and summarizes.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Extracts the summary from an already-run World.
+[[nodiscard]] ExperimentResult summarize(const World& world, double wall_seconds);
+
+}  // namespace dpjit::exp

@@ -1,0 +1,124 @@
+#include "exp/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dpjit::exp {
+
+MetricsCollector::MetricsCollector(double horizon_s, double bucket_s)
+    : horizon_(horizon_s), bucket_(bucket_s) {
+  if (horizon_s <= 0.0 || bucket_s <= 0.0) {
+    throw std::invalid_argument("MetricsCollector: horizon/bucket must be > 0");
+  }
+}
+
+void MetricsCollector::on_workflow_finished(const core::WorkflowReport& report) {
+  reports_.push_back(report);
+}
+
+void MetricsCollector::on_cycle(const core::CycleSample& sample) {
+  samples_.push_back(sample);
+}
+
+double MetricsCollector::act() const {
+  if (reports_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : reports_) sum += r.completion_time();
+  return sum / static_cast<double>(reports_.size());
+}
+
+double MetricsCollector::ae() const {
+  if (reports_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : reports_) sum += r.efficiency();
+  return sum / static_cast<double>(reports_.size());
+}
+
+double MetricsCollector::mean_response() const {
+  if (reports_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : reports_) sum += r.response_time();
+  return sum / static_cast<double>(reports_.size());
+}
+
+std::vector<CurvePoint> MetricsCollector::throughput_curve() const {
+  const auto buckets = static_cast<std::size_t>(std::ceil(horizon_ / bucket_));
+  std::vector<CurvePoint> curve(buckets + 1);
+  std::vector<std::size_t> finished_in(buckets + 1, 0);
+  for (const auto& r : reports_) {
+    auto b = static_cast<std::size_t>(std::max(r.finish_time, 0.0) / bucket_);
+    b = std::min(b, buckets);
+    ++finished_in[b];
+  }
+  std::size_t cum = 0;
+  for (std::size_t b = 0; b <= buckets; ++b) {
+    cum += finished_in[b];
+    curve[b] = CurvePoint{static_cast<SimTime>(b + 1) * bucket_, static_cast<double>(cum)};
+  }
+  return curve;
+}
+
+namespace {
+
+std::vector<CurvePoint> cumulative_mean_curve(const std::vector<core::WorkflowReport>& reports,
+                                              double horizon, double bucket,
+                                              double (core::WorkflowReport::*metric)() const) {
+  const auto buckets = static_cast<std::size_t>(std::ceil(horizon / bucket));
+  std::vector<double> sum_in(buckets + 1, 0.0);
+  std::vector<std::size_t> n_in(buckets + 1, 0);
+  for (const auto& r : reports) {
+    auto b = static_cast<std::size_t>(std::max(r.finish_time, 0.0) / bucket);
+    b = std::min(b, buckets);
+    sum_in[b] += (r.*metric)();
+    ++n_in[b];
+  }
+  std::vector<CurvePoint> curve(buckets + 1);
+  double cum_sum = 0.0;
+  std::size_t cum_n = 0;
+  for (std::size_t b = 0; b <= buckets; ++b) {
+    cum_sum += sum_in[b];
+    cum_n += n_in[b];
+    curve[b] = CurvePoint{static_cast<SimTime>(b + 1) * bucket,
+                          cum_n == 0 ? 0.0 : cum_sum / static_cast<double>(cum_n)};
+  }
+  return curve;
+}
+
+}  // namespace
+
+std::vector<CurvePoint> MetricsCollector::act_curve() const {
+  return cumulative_mean_curve(reports_, horizon_, bucket_,
+                               &core::WorkflowReport::completion_time);
+}
+
+std::vector<CurvePoint> MetricsCollector::ae_curve() const {
+  return cumulative_mean_curve(reports_, horizon_, bucket_, &core::WorkflowReport::efficiency);
+}
+
+namespace {
+
+double tail_mean(const std::vector<core::CycleSample>& samples,
+                 double (core::CycleSample::*field)) {
+  if (samples.empty()) return 0.0;
+  const std::size_t start = samples.size() - std::max<std::size_t>(samples.size() / 4, 1);
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = start; i < samples.size(); ++i) {
+    sum += samples[i].*field;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace
+
+double MetricsCollector::converged_rss_size() const {
+  return tail_mean(samples_, &core::CycleSample::mean_rss_size);
+}
+
+double MetricsCollector::converged_idle_known() const {
+  return tail_mean(samples_, &core::CycleSample::mean_idle_known);
+}
+
+}  // namespace dpjit::exp

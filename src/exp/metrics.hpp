@@ -1,0 +1,64 @@
+// Metrics collection: the quantities the paper's evaluation plots.
+//
+//  - ACT, Eq. (2): average completion time over finished workflows;
+//  - AE,  Eq. (3): average execution efficiency e(f) = eft(f)/ct(f);
+//  - throughput: cumulative workflows finished over time (Figs. 4, 12);
+//  - running ACT / AE curves over time (Figs. 5, 6, 13, 14);
+//  - gossip view sizes per cycle (Fig. 11a).
+#pragma once
+
+#include <vector>
+
+#include "core/metrics_sink.hpp"
+#include "util/stats.hpp"
+
+namespace dpjit::exp {
+
+/// One point of a "metric vs time" series.
+struct CurvePoint {
+  SimTime time = 0.0;
+  double value = 0.0;
+};
+
+class MetricsCollector final : public core::MetricsSink {
+ public:
+  /// `horizon_s` bounds the time axis; `bucket_s` is the plotting resolution
+  /// (the paper's figures use hours).
+  explicit MetricsCollector(double horizon_s, double bucket_s = 3600.0);
+
+  void on_workflow_finished(const core::WorkflowReport& report) override;
+  void on_cycle(const core::CycleSample& sample) override;
+
+  // --- end-of-run summaries ---
+  [[nodiscard]] std::size_t finished() const { return reports_.size(); }
+  /// ACT over finished workflows (paper Eq. 2); 0 when none finished.
+  [[nodiscard]] double act() const;
+  /// AE over finished workflows (paper Eq. 3); 0 when none finished.
+  [[nodiscard]] double ae() const;
+  /// Mean response time (submission -> exit completion).
+  [[nodiscard]] double mean_response() const;
+
+  // --- curves (one point per bucket, cumulative like the paper's plots) ---
+  [[nodiscard]] std::vector<CurvePoint> throughput_curve() const;
+  [[nodiscard]] std::vector<CurvePoint> act_curve() const;
+  [[nodiscard]] std::vector<CurvePoint> ae_curve() const;
+
+  [[nodiscard]] const std::vector<core::WorkflowReport>& reports() const { return reports_; }
+  [[nodiscard]] const std::vector<core::CycleSample>& samples() const { return samples_; }
+
+  /// Mean RSS size / idle-known over the last quarter of the run (converged
+  /// view sizes, Fig. 11a).
+  [[nodiscard]] double converged_rss_size() const;
+  [[nodiscard]] double converged_idle_known() const;
+
+  [[nodiscard]] double horizon() const { return horizon_; }
+  [[nodiscard]] double bucket() const { return bucket_; }
+
+ private:
+  double horizon_;
+  double bucket_;
+  std::vector<core::WorkflowReport> reports_;
+  std::vector<core::CycleSample> samples_;
+};
+
+}  // namespace dpjit::exp

@@ -1,0 +1,28 @@
+#include "exp/sweep.hpp"
+
+#include "core/policy_registry.hpp"
+
+namespace dpjit::exp {
+
+std::vector<ExperimentResult> run_sweep(const std::vector<ExperimentConfig>& configs) {
+  std::vector<ExperimentResult> results(configs.size());
+#if defined(DPJIT_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (std::size_t i = 0; i < configs.size(); ++i) {  // NOLINT(modernize-loop-convert)
+    results[i] = run_experiment(configs[i]);
+  }
+  return results;
+}
+
+std::vector<ExperimentConfig> across_algorithms(const ExperimentConfig& base) {
+  std::vector<ExperimentConfig> configs;
+  for (const auto& name : core::paper_algorithms()) {
+    ExperimentConfig cfg = base;
+    cfg.algorithm = name;
+    configs.push_back(std::move(cfg));
+  }
+  return configs;
+}
+
+}  // namespace dpjit::exp

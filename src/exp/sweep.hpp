@@ -1,0 +1,18 @@
+// Parameter sweeps: run many independent experiment configurations, in
+// parallel when OpenMP is available (each run owns its engine and RNG streams,
+// so parallel execution cannot perturb determinism).
+#pragma once
+
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace dpjit::exp {
+
+/// Runs every configuration and returns results in the same order.
+[[nodiscard]] std::vector<ExperimentResult> run_sweep(const std::vector<ExperimentConfig>& configs);
+
+/// Convenience: the same base config across the paper's eight algorithms.
+[[nodiscard]] std::vector<ExperimentConfig> across_algorithms(const ExperimentConfig& base);
+
+}  // namespace dpjit::exp

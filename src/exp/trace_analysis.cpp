@@ -1,0 +1,110 @@
+#include "exp/trace_analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "util/table_printer.hpp"
+
+namespace dpjit::exp {
+
+std::vector<NodeUsage> node_usage(const sim::Trace& trace, double horizon_s) {
+  if (horizon_s <= 0.0) throw std::invalid_argument("node_usage: horizon must be > 0");
+  std::map<int, NodeUsage> usage;
+  std::map<int, SimTime> running_since;
+  for (const auto& r : trace.records()) {
+    if (r.kind == sim::TraceKind::kExecStart) {
+      running_since[r.node.get()] = r.time;
+    } else if (r.kind == sim::TraceKind::kExecEnd) {
+      auto it = running_since.find(r.node.get());
+      if (it == running_since.end()) continue;  // trace was enabled mid-run
+      auto& u = usage[r.node.get()];
+      u.node = r.node;
+      u.tasks_executed += 1;
+      u.busy_s += r.time - it->second;
+      running_since.erase(it);
+    }
+  }
+  std::vector<NodeUsage> out;
+  out.reserve(usage.size());
+  for (auto& [id, u] : usage) {
+    u.utilization = std::min(1.0, u.busy_s / horizon_s);
+    out.push_back(u);
+  }
+  return out;
+}
+
+TraceSummary summarize_trace(const sim::Trace& trace, double horizon_s) {
+  TraceSummary s;
+  s.horizon_s = horizon_s;
+  s.tasks_dispatched = trace.count(sim::TraceKind::kDispatch);
+  s.tasks_failed = trace.count(sim::TraceKind::kTaskFailed);
+  s.transfers_completed = trace.count(sim::TraceKind::kTransferEnd);
+  s.workflows_finished = trace.count(sim::TraceKind::kWorkflowDone);
+
+  const auto usage = node_usage(trace, horizon_s);
+  s.active_nodes = usage.size();
+  double busy_sum = 0.0;
+  double busy_sq_sum = 0.0;
+  for (const auto& u : usage) {
+    s.tasks_executed += u.tasks_executed;
+    s.mean_utilization += u.utilization;
+    s.max_utilization = std::max(s.max_utilization, u.utilization);
+    busy_sum += u.busy_s;
+    busy_sq_sum += u.busy_s * u.busy_s;
+  }
+  if (!usage.empty()) {
+    s.mean_utilization /= static_cast<double>(usage.size());
+    if (busy_sq_sum > 0.0) {
+      // Jain's fairness index: (sum x)^2 / (n * sum x^2).
+      s.busy_fairness = busy_sum * busy_sum / (static_cast<double>(usage.size()) * busy_sq_sum);
+    }
+  }
+
+  // Queue wait: per task, dispatch time -> exec start time.
+  std::map<TaskRef, SimTime> dispatched_at;
+  double wait_sum = 0.0;
+  std::size_t wait_n = 0;
+  for (const auto& r : trace.records()) {
+    if (r.kind == sim::TraceKind::kDispatch) {
+      dispatched_at[r.task] = r.time;
+    } else if (r.kind == sim::TraceKind::kExecStart) {
+      const auto it = dispatched_at.find(r.task);
+      if (it != dispatched_at.end()) {
+        wait_sum += r.time - it->second;
+        ++wait_n;
+      }
+    }
+  }
+  if (wait_n > 0) s.mean_queue_wait_s = wait_sum / static_cast<double>(wait_n);
+  return s;
+}
+
+void print_trace_report(std::ostream& os, const sim::Trace& trace, double horizon_s,
+                        std::size_t max_rows) {
+  const auto summary = summarize_trace(trace, horizon_s);
+  os << "trace summary over " << horizon_s / 3600.0 << " h:\n"
+     << "  dispatched " << summary.tasks_dispatched << ", executed " << summary.tasks_executed
+     << ", failed " << summary.tasks_failed << ", transfers " << summary.transfers_completed
+     << ", workflows finished " << summary.workflows_finished << '\n'
+     << "  active nodes " << summary.active_nodes << ", mean utilization "
+     << util::TablePrinter::fmt(summary.mean_utilization * 100.0, 3) << "%, hotspot "
+     << util::TablePrinter::fmt(summary.max_utilization * 100.0, 3) << "%, busy fairness "
+     << util::TablePrinter::fmt(summary.busy_fairness, 3) << '\n'
+     << "  mean dispatch->start wait " << util::TablePrinter::fmt(summary.mean_queue_wait_s, 4)
+     << " s\n\n";
+
+  auto usage = node_usage(trace, horizon_s);
+  std::sort(usage.begin(), usage.end(),
+            [](const NodeUsage& a, const NodeUsage& b) { return a.busy_s > b.busy_s; });
+  util::TablePrinter t({"node", "tasks", "busy(s)", "utilization%"});
+  for (std::size_t i = 0; i < usage.size() && i < max_rows; ++i) {
+    t.add_row({std::to_string(usage[i].node.get()), std::to_string(usage[i].tasks_executed),
+               util::TablePrinter::fmt(usage[i].busy_s, 6),
+               util::TablePrinter::fmt(usage[i].utilization * 100.0, 3)});
+  }
+  os << "busiest nodes:\n";
+  t.print(os);
+}
+
+}  // namespace dpjit::exp

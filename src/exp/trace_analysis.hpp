@@ -1,0 +1,57 @@
+// Post-hoc analysis of a simulation trace: per-node utilization, queueing,
+// and data-movement statistics. The paper reports only workflow-level
+// metrics; operators of a real deployment need the node-level view (where
+// are the hotspots? how imbalanced is the load? how much data moved?), so
+// the library provides it for any traced run.
+#pragma once
+
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace dpjit::exp {
+
+/// Aggregated execution statistics of one node.
+struct NodeUsage {
+  NodeId node;
+  /// Number of tasks executed to completion.
+  std::size_t tasks_executed = 0;
+  /// Total busy time (sum of execution intervals), seconds.
+  double busy_s = 0.0;
+  /// busy / horizon, in [0, 1].
+  double utilization = 0.0;
+};
+
+/// Whole-run summary derived from a trace.
+struct TraceSummary {
+  double horizon_s = 0.0;
+  std::size_t tasks_dispatched = 0;
+  std::size_t tasks_executed = 0;
+  std::size_t tasks_failed = 0;
+  std::size_t transfers_completed = 0;
+  std::size_t workflows_finished = 0;
+  /// Nodes that executed at least one task.
+  std::size_t active_nodes = 0;
+  /// Mean utilization over active nodes.
+  double mean_utilization = 0.0;
+  /// Max single-node utilization (the hotspot).
+  double max_utilization = 0.0;
+  /// Jain's fairness index over active nodes' busy time, in (0, 1];
+  /// 1 = perfectly balanced.
+  double busy_fairness = 1.0;
+  /// Mean dispatch -> execution-start waiting time, seconds.
+  double mean_queue_wait_s = 0.0;
+};
+
+/// Computes per-node usage from a trace (requires the trace to have been
+/// enabled for the whole run). `horizon_s` caps utilization; it must be > 0.
+[[nodiscard]] std::vector<NodeUsage> node_usage(const sim::Trace& trace, double horizon_s);
+
+/// Computes the whole-run summary.
+[[nodiscard]] TraceSummary summarize_trace(const sim::Trace& trace, double horizon_s);
+
+/// Prints a usage table (top `max_rows` nodes by busy time) and the summary.
+void print_trace_report(std::ostream& os, const sim::Trace& trace, double horizon_s,
+                        std::size_t max_rows = 10);
+
+}  // namespace dpjit::exp

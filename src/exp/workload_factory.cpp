@@ -1,0 +1,101 @@
+#include "exp/workload_factory.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace dpjit::exp {
+namespace {
+
+int log2_ceil(int n) {
+  int k = 0;
+  while ((1 << k) < n) ++k;
+  return std::max(1, k);
+}
+
+net::Topology build_topology(const ExperimentConfig& cfg, util::Rng& rng) {
+  net::TopologyParams params = cfg.topology;
+  params.node_count = cfg.nodes;
+  auto topo_rng = rng.fork("topology");
+  return net::Topology::generate_waxman(params, topo_rng);
+}
+
+core::SystemConfig build_system_config(const ExperimentConfig& cfg) {
+  core::SystemConfig sys = cfg.system;
+  sys.seed = cfg.seed;
+  sys.fair_sharing = cfg.fair_sharing;
+  sys.reschedule_failed = cfg.reschedule;
+  if (cfg.dynamic_factor > 0.0) {
+    sys.churn.dynamic_factor = cfg.dynamic_factor;
+    if (sys.churn.stable_count == 0) sys.churn.stable_count = cfg.nodes / 2;
+    if (sys.churn.interval_s <= 0.0) sys.churn.interval_s = sys.scheduling_interval_s;
+  }
+  return sys;
+}
+
+}  // namespace
+
+World::World(const ExperimentConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      topo_(build_topology(config, rng_)),
+      routing_(topo_),
+      landmarks_([&]() -> net::LandmarkEstimator {
+        auto lm_rng = rng_.fork("landmarks");
+        return net::LandmarkEstimator(routing_, log2_ceil(config.nodes), lm_rng);
+      }()),
+      metrics_(config.system.horizon_s) {
+  if (config.nodes < 1) throw std::invalid_argument("World: nodes >= 1");
+  if (config.workflows_per_node < 0) throw std::invalid_argument("World: workflows_per_node >= 0");
+
+  std::vector<double> capacities;
+  capacities.reserve(static_cast<std::size_t>(config.nodes));
+  auto cap_rng = rng_.fork("capacity");
+  for (int i = 0; i < config.nodes; ++i) {
+    capacities.push_back(cap_rng.pick(config_.capacity_choices));
+  }
+
+  system_ = std::make_unique<core::GridSystem>(engine_, topo_, routing_, landmarks_,
+                                               std::move(capacities),
+                                               core::make_algorithm(config.algorithm),
+                                               build_system_config(config), &metrics_);
+}
+
+int World::home_count() const {
+  return config_.dynamic_factor > 0.0 ? system_->config().churn.stable_count : config_.nodes;
+}
+
+void World::submit_workload() {
+  if (submitted_) return;
+  submitted_ = true;
+  auto wf_rng = rng_.fork("workload");
+  auto arrival_rng = rng_.fork("arrivals");
+  const int homes = home_count();
+  for (int h = 0; h < homes; ++h) {
+    double next_arrival = 0.0;
+    for (int j = 0; j < config_.workflows_per_node; ++j) {
+      auto one_rng = wf_rng.fork("wf", static_cast<std::uint64_t>(h) * 1000003ULL +
+                                           static_cast<std::uint64_t>(j));
+      auto wf = dag::generate_workflow(WorkflowId{}, config_.workflow, one_rng);
+      if (config_.mean_interarrival_s <= 0.0) {
+        // Closed model (the paper's setting): everything arrives at t = 0.
+        system_->submit(NodeId{h}, std::move(wf));
+      } else {
+        // Open model: Poisson arrivals per home node.
+        next_arrival += arrival_rng.exponential(config_.mean_interarrival_s);
+        // shared_ptr because std::function requires copyable callables.
+        auto pending = std::make_shared<dag::Workflow>(std::move(wf));
+        engine_.schedule_at(next_arrival, [this, h, pending] {
+          system_->submit(NodeId{h}, std::move(*pending));
+        });
+      }
+    }
+  }
+}
+
+void World::run() {
+  submit_workload();
+  system_->run();
+}
+
+}  // namespace dpjit::exp

@@ -1,0 +1,92 @@
+// Experiment construction: turns an ExperimentConfig (Table I settings plus
+// sweep knobs) into a ready-to-run world - topology, routing, landmarks,
+// capacities, grid system, submitted workflows and a metrics collector.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/grid_system.hpp"
+#include "dag/generator.hpp"
+#include "exp/metrics.hpp"
+#include "net/landmark.hpp"
+
+namespace dpjit::exp {
+
+/// Everything a single simulation run needs (defaults = paper Section IV.A).
+struct ExperimentConfig {
+  /// One of core::all_algorithms().
+  std::string algorithm = "dsmf";
+  /// System scale n (paper: 200 - 2000; headline experiments use 1000).
+  int nodes = 1000;
+  /// Load factor: workflows submitted per home node (paper: 1 - 8, default 3).
+  int workflows_per_node = 3;
+  /// Workflow shape/weights (paper Table I; data defaults to the CCR~0.16 case).
+  dag::GeneratorParams workflow;
+  /// Heterogeneous capacities drawn uniformly from this set (Table I).
+  std::vector<double> capacity_choices = {1.0, 2.0, 4.0, 8.0, 16.0};
+  /// WAN parameters (node_count is overwritten with `nodes`).
+  net::TopologyParams topology;
+  /// Scheduling/gossip/churn knobs.
+  core::SystemConfig system;
+  /// Churn convenience: > 0 switches to the dynamic environment with
+  /// stable_count = nodes/2 homes (paper Section IV.B).
+  double dynamic_factor = 0.0;
+  /// Extension: reschedule tasks lost to churn.
+  bool reschedule = false;
+  /// Ablation: max-min fair network sharing instead of the bottleneck model.
+  bool fair_sharing = false;
+  /// Workflow arrival process. 0 (default) = the paper's closed model: every
+  /// workflow is submitted at t = 0. > 0 = open model: each home node submits
+  /// its workflows one by one with exponential inter-arrival times of this
+  /// mean (seconds), e.g. 3600 = on average one new workflow per hour per home.
+  double mean_interarrival_s = 0.0;
+  std::uint64_t seed = 1;
+
+  /// Applies the CCR presets of Figs. 9-10: load and data ranges.
+  void set_load_range(double lo, double hi) {
+    workflow.min_load_mi = lo;
+    workflow.max_load_mi = hi;
+  }
+  void set_data_range(double lo, double hi) {
+    workflow.min_data_mb = lo;
+    workflow.max_data_mb = hi;
+  }
+};
+
+/// A fully wired single run. Construction generates the world; run() submits
+/// the workload and executes to the horizon.
+class World {
+ public:
+  explicit World(const ExperimentConfig& config);
+
+  /// Submits the configured workload (idempotent) and runs to the horizon.
+  void run();
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] core::GridSystem& system() { return *system_; }
+  [[nodiscard]] const core::GridSystem& system() const { return *system_; }
+  [[nodiscard]] MetricsCollector& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsCollector& metrics() const { return metrics_; }
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] const net::Topology& topology() const { return topo_; }
+  [[nodiscard]] const net::Routing& routing() const { return routing_; }
+  /// Number of home nodes receiving workflows (all nodes, or the stable half
+  /// under churn).
+  [[nodiscard]] int home_count() const;
+
+ private:
+  void submit_workload();
+
+  ExperimentConfig config_;
+  util::Rng rng_;
+  sim::Engine engine_;
+  net::Topology topo_;
+  net::Routing routing_;
+  net::LandmarkEstimator landmarks_;
+  MetricsCollector metrics_;
+  std::unique_ptr<core::GridSystem> system_;
+  bool submitted_ = false;
+};
+
+}  // namespace dpjit::exp

@@ -1,0 +1,219 @@
+#include "gossip/mixed_gossip.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dpjit::gossip {
+namespace {
+
+int derive_log2(int n) {
+  int k = 0;
+  while ((1 << k) < n) ++k;
+  return std::max(1, k);
+}
+
+}  // namespace
+
+MixedGossipService::MixedGossipService(sim::Engine& engine, GossipParams params, int node_count,
+                                       LocalStateFn local_state, AliveFn alive, LatencyFn latency,
+                                       LocalBandwidthFn local_bw, util::Rng rng)
+    : engine_(engine),
+      params_(params),
+      n_(node_count),
+      local_state_(std::move(local_state)),
+      alive_(std::move(alive)),
+      latency_(std::move(latency)),
+      local_bw_(std::move(local_bw)),
+      rng_(rng) {
+  if (node_count < 1) throw std::invalid_argument("MixedGossipService: node_count >= 1");
+  if (params_.cycle_s <= 0.0) throw std::invalid_argument("MixedGossipService: cycle_s > 0");
+  fanout_ = params_.fanout > 0 ? params_.fanout : derive_log2(n_);
+  cache_size_ = params_.cache_size > 0
+                    ? params_.cache_size
+                    : std::min(30, static_cast<int>(std::ceil(2.5 * derive_log2(n_))));
+  nodes_.resize(static_cast<std::size_t>(n_));
+  for (auto& node : nodes_) node.rss.set_capacity(static_cast<std::size_t>(cache_size_));
+}
+
+void MixedGossipService::start() {
+  for (int i = 0; i < n_; ++i) {
+    if (alive_(NodeId{i})) reseed_aggregation(NodeId{i});
+  }
+  cycle_process_ = std::make_unique<sim::PeriodicProcess>(
+      engine_, engine_.now(), params_.cycle_s, [this](std::uint64_t c) { run_cycle(c); });
+  cycle_process_->start();
+}
+
+void MixedGossipService::stop() {
+  if (cycle_process_) cycle_process_->stop();
+}
+
+void MixedGossipService::reseed_aggregation(NodeId n) {
+  auto& g = nodes_[static_cast<std::size_t>(n.get())];
+  double load = 0.0;
+  double cap = 1.0;
+  local_state_(n, load, cap);
+  g.agg_capacity.current = cap;
+  g.agg_bandwidth.current = local_bw_(n);
+  // A freshly (re)seeded node publishes its local observation until the first
+  // epoch completes - it has nothing better yet.
+  if (g.agg_capacity.published == 0.0) g.agg_capacity.published = g.agg_capacity.current;
+  if (g.agg_bandwidth.published == 0.0) g.agg_bandwidth.published = g.agg_bandwidth.current;
+}
+
+void MixedGossipService::run_cycle(std::uint64_t cycle) {
+  const bool epoch_boundary =
+      params_.aggregation_epoch_cycles > 0 &&
+      cycle % static_cast<std::uint64_t>(params_.aggregation_epoch_cycles) == 0 && cycle > 0;
+
+  for (int i = 0; i < n_; ++i) {
+    const NodeId me{i};
+    if (!alive_(me)) continue;
+    auto& g = nodes_[static_cast<std::size_t>(i)];
+    if (epoch_boundary) {
+      // Publish the converged value, then restart from the local observation.
+      g.agg_capacity.published = g.agg_capacity.current;
+      g.agg_bandwidth.published = g.agg_bandwidth.current;
+      reseed_aggregation(me);
+    }
+    g.rss.expire(engine_.now(), params_.staleness_bound_s, me);
+    epidemic_push(me);
+    aggregation_exchange(me);
+  }
+}
+
+std::vector<NodeId> MixedGossipService::pick_targets(NodeId from, int count) {
+  const auto& g = nodes_[static_cast<std::size_t>(from.get())];
+  // Candidate set: peers currently in the view (Newscast neighbors are
+  // reselected from the cache every cycle).
+  std::vector<NodeId> candidates;
+  candidates.reserve(g.rss.size());
+  for (const auto& e : g.rss.entries()) candidates.push_back(e.node);
+  rng_.shuffle(candidates);
+  std::vector<NodeId> targets;
+  for (NodeId c : candidates) {
+    if (static_cast<int>(targets.size()) >= count) break;
+    if (alive_(c)) targets.push_back(c);
+  }
+  return targets;
+}
+
+void MixedGossipService::epidemic_push(NodeId from) {
+  auto& g = nodes_[static_cast<std::size_t>(from.get())];
+
+  // Build the message once and share it across all targets: own fresh state
+  // plus every cached entry that still has forwarding budget.
+  auto message = std::make_shared<std::vector<ResourceEntry>>();
+  double load = 0.0;
+  double cap = 1.0;
+  local_state_(from, load, cap);
+  message->push_back(ResourceEntry{from, load, cap, engine_.now(), params_.ttl});
+  for (const auto& e : g.rss.entries()) {
+    if (e.ttl > 0) {
+      ResourceEntry fwd = e;
+      fwd.ttl -= 1;
+      message->push_back(fwd);
+    }
+  }
+
+  // Wire-format accounting per Section IV.A: 20-byte header + 20 bytes per
+  // carried entry (id, load, capacity, timestamp, ttl).
+  const std::uint64_t message_bytes = 20 + 20 * message->size();
+
+  for (NodeId to : pick_targets(from, fanout_)) {
+    ++messages_sent_;
+    bytes_sent_ += message_bytes;
+    const double delay = std::max(0.0, latency_(from, to));
+    engine_.schedule_in(delay, [this, to, message] {
+      if (!alive_(to)) return;  // died while the message was in flight
+      auto& view = nodes_[static_cast<std::size_t>(to.get())].rss;
+      for (const auto& entry : *message) {
+        if (entry.node == to) continue;  // no self-entries
+        if (!alive_(entry.node)) continue;  // drop state about dead peers
+        view.merge(entry);
+      }
+    });
+  }
+}
+
+void MixedGossipService::aggregation_exchange(NodeId from) {
+  // One push-pull averaging step with a random alive partner from the view.
+  auto targets = pick_targets(from, 1);
+  if (targets.empty()) return;
+  const NodeId partner = targets.front();
+  auto& a = nodes_[static_cast<std::size_t>(from.get())];
+  auto& b = nodes_[static_cast<std::size_t>(partner.get())];
+  const double cap_mid = 0.5 * (a.agg_capacity.current + b.agg_capacity.current);
+  const double bw_mid = 0.5 * (a.agg_bandwidth.current + b.agg_bandwidth.current);
+  a.agg_capacity.current = b.agg_capacity.current = cap_mid;
+  a.agg_bandwidth.current = b.agg_bandwidth.current = bw_mid;
+  ++messages_sent_;
+  bytes_sent_ += 20 + 16;  // header + two doubles
+}
+
+void MixedGossipService::node_joined(NodeId n, const std::vector<NodeId>& bootstrap) {
+  auto& g = nodes_[static_cast<std::size_t>(n.get())];
+  g.rss.clear();
+  g.agg_capacity = AggregationState{};
+  g.agg_bandwidth = AggregationState{};
+  reseed_aggregation(n);
+  for (NodeId contact : bootstrap) {
+    if (contact == n || !alive_(contact)) continue;
+    double load = 0.0;
+    double cap = 1.0;
+    local_state_(contact, load, cap);
+    g.rss.merge(ResourceEntry{contact, load, cap, engine_.now(), params_.ttl});
+  }
+}
+
+void MixedGossipService::node_left(NodeId n) {
+  auto& g = nodes_[static_cast<std::size_t>(n.get())];
+  g.rss.clear();
+  g.agg_capacity = AggregationState{};
+  g.agg_bandwidth = AggregationState{};
+}
+
+const ResourceView& MixedGossipService::rss(NodeId n) const {
+  return nodes_[static_cast<std::size_t>(n.get())].rss;
+}
+
+ResourceView& MixedGossipService::rss(NodeId n) {
+  return nodes_[static_cast<std::size_t>(n.get())].rss;
+}
+
+GlobalAverages MixedGossipService::averages(NodeId n) const {
+  const auto& g = nodes_[static_cast<std::size_t>(n.get())];
+  GlobalAverages avg;
+  avg.capacity_mips = std::max(g.agg_capacity.published, 1e-9);
+  avg.bandwidth_mbps = std::max(g.agg_bandwidth.published, 1e-9);
+  return avg;
+}
+
+double MixedGossipService::mean_rss_size() const {
+  double sum = 0.0;
+  int count = 0;
+  for (int i = 0; i < n_; ++i) {
+    if (!alive_(NodeId{i})) continue;
+    sum += static_cast<double>(nodes_[static_cast<std::size_t>(i)].rss.size());
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+double MixedGossipService::mean_idle_known() const {
+  double sum = 0.0;
+  int count = 0;
+  for (int i = 0; i < n_; ++i) {
+    if (!alive_(NodeId{i})) continue;
+    int idle = 0;
+    for (const auto& e : nodes_[static_cast<std::size_t>(i)].rss.entries()) {
+      if (e.load_mi <= 0.0) ++idle;
+    }
+    sum += idle;
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+}  // namespace dpjit::gossip

@@ -1,0 +1,127 @@
+// The mixed gossip protocol (paper Section III.B): epidemic gossip for state
+// dissemination (RSS maintenance) + aggregation gossip for global averages.
+//
+// The service is deliberately decoupled from the grid layer: it reads node
+// state (load/capacity/aliveness) through callbacks and delivers epidemic
+// messages through the event engine with real network latency. Aggregation
+// exchanges are executed atomically at cycle ticks, exactly as cycle-driven
+// Peersim protocols do (the control traffic is tiny - ~100 bytes per message,
+// see Section IV.A - so its latency is irrelevant at 5-minute cycles).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gossip/view.hpp"
+#include "sim/engine.hpp"
+#include "sim/periodic.hpp"
+#include "util/rng.hpp"
+
+namespace dpjit::gossip {
+
+/// Tuning of the mixed protocol. Zeros mean "derive from n" as the paper does.
+struct GossipParams {
+  /// Gossip cycle length in seconds (paper: 5 minutes).
+  double cycle_s = 300.0;
+  /// Epidemic TTL in hops (paper: 4).
+  int ttl = 4;
+  /// Push fan-out per cycle; 0 derives ceil(log2(n)) (paper).
+  int fanout = 0;
+  /// RSS capacity; 0 derives ceil(2.5 * log2(n)), capped at 30 - reproduces
+  /// the bounded acquaintance count of Fig. 11(a).
+  int cache_size = 0;
+  /// Entries older than this are dropped from RSS (handles churned nodes).
+  double staleness_bound_s = 1800.0;
+  /// Aggregation gossip restarts every this many cycles (epoch length).
+  int aggregation_epoch_cycles = 12;
+};
+
+/// System-wide averages produced by the aggregation gossip, as seen by one node.
+struct GlobalAverages {
+  double capacity_mips = 1.0;
+  double bandwidth_mbps = 1.0;
+};
+
+/// The per-node protocol stack, driven by MixedGossipService.
+struct NodeGossip {
+  ResourceView rss;
+  AggregationState agg_capacity;
+  AggregationState agg_bandwidth;
+};
+
+class MixedGossipService {
+ public:
+  /// Reads a node's current (load, capacity); only called for alive nodes.
+  using LocalStateFn = std::function<void(NodeId, double& load_mi, double& capacity_mips)>;
+  /// True when the node is currently alive.
+  using AliveFn = std::function<bool(NodeId)>;
+  /// One-way control-message latency between two alive nodes, seconds.
+  using LatencyFn = std::function<double(NodeId, NodeId)>;
+  /// A node's locally observable mean bandwidth (landmark links), Mb/s.
+  using LocalBandwidthFn = std::function<double(NodeId)>;
+
+  MixedGossipService(sim::Engine& engine, GossipParams params, int node_count,
+                     LocalStateFn local_state, AliveFn alive, LatencyFn latency,
+                     LocalBandwidthFn local_bw, util::Rng rng);
+
+  /// Seeds every alive node's aggregation state and starts the periodic cycle.
+  void start();
+
+  /// Stops the periodic cycle (e.g. at the end of the horizon).
+  void stop();
+
+  /// Churn hooks. `bootstrap` is a set of alive contacts for the newcomer
+  /// (the role a bootstrap/rendezvous server plays in deployed P2P systems).
+  void node_joined(NodeId n, const std::vector<NodeId>& bootstrap);
+  void node_left(NodeId n);
+
+  /// RSS snapshot for a scheduler: fresh entries about *alive-believed* peers.
+  [[nodiscard]] const ResourceView& rss(NodeId n) const;
+  [[nodiscard]] ResourceView& rss(NodeId n);
+
+  /// The averages the node currently believes (last completed epoch).
+  [[nodiscard]] GlobalAverages averages(NodeId n) const;
+
+  /// Mean RSS size over alive nodes (Fig. 11(a)).
+  [[nodiscard]] double mean_rss_size() const;
+  /// Mean number of idle peers (known load == 0) per alive node (Fig. 11(a)).
+  [[nodiscard]] double mean_idle_known() const;
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+
+  /// Estimated control traffic in bytes, using the paper's wire-format
+  /// accounting (Section IV.A: ~20-byte header plus ~80 bytes of payload;
+  /// we charge 20 bytes header + 20 bytes per carried resource entry).
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  [[nodiscard]] int effective_fanout() const { return fanout_; }
+  [[nodiscard]] int effective_cache_size() const { return cache_size_; }
+
+  /// Runs one epidemic + aggregation cycle immediately (tests drive this
+  /// directly; normal operation uses start()).
+  void run_cycle(std::uint64_t cycle);
+
+ private:
+  void epidemic_push(NodeId from);
+  void aggregation_exchange(NodeId from);
+  void reseed_aggregation(NodeId n);
+  [[nodiscard]] std::vector<NodeId> pick_targets(NodeId from, int count);
+
+  sim::Engine& engine_;
+  GossipParams params_;
+  int n_;
+  int fanout_;
+  int cache_size_;
+  LocalStateFn local_state_;
+  AliveFn alive_;
+  LatencyFn latency_;
+  LocalBandwidthFn local_bw_;
+  util::Rng rng_;
+  std::vector<NodeGossip> nodes_;
+  std::unique_ptr<sim::PeriodicProcess> cycle_process_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace dpjit::gossip

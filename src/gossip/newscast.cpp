@@ -1,0 +1,62 @@
+#include "gossip/view.hpp"
+
+#include <algorithm>
+
+namespace dpjit::gossip {
+
+bool ResourceView::merge(const ResourceEntry& entry) {
+  for (auto& e : entries_) {
+    if (e.node == entry.node) {
+      if (entry.stamped_at > e.stamped_at) {
+        e = entry;
+        return true;
+      }
+      // Same snapshot seen again: keep the higher remaining TTL so forwarding
+      // budget is not lost to duplicate delivery order.
+      if (entry.stamped_at == e.stamped_at && entry.ttl > e.ttl) e.ttl = entry.ttl;
+      return false;
+    }
+  }
+  if (entries_.size() < capacity_) {
+    entries_.push_back(entry);
+    return true;
+  }
+  // Full: evict the stalest entry if the newcomer is fresher.
+  auto stalest = std::min_element(
+      entries_.begin(), entries_.end(),
+      [](const ResourceEntry& a, const ResourceEntry& b) { return a.stamped_at < b.stamped_at; });
+  if (stalest->stamped_at < entry.stamped_at) {
+    *stalest = entry;
+    return true;
+  }
+  return false;
+}
+
+void ResourceView::expire(SimTime now, double max_age, NodeId self) {
+  std::erase_if(entries_, [&](const ResourceEntry& e) {
+    return e.node == self || (now - e.stamped_at) > max_age;
+  });
+}
+
+bool ResourceView::forget(NodeId node) {
+  const auto before = entries_.size();
+  std::erase_if(entries_, [&](const ResourceEntry& e) { return e.node == node; });
+  return entries_.size() != before;
+}
+
+bool ResourceView::adjust_load(NodeId node, double delta_mi) {
+  for (auto& e : entries_) {
+    if (e.node == node) {
+      e.load_mi = std::max(0.0, e.load_mi + delta_mi);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ResourceView::contains(NodeId node) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const ResourceEntry& e) { return e.node == node; });
+}
+
+}  // namespace dpjit::gossip

@@ -1,0 +1,68 @@
+// Per-node gossip state: the bounded resource-state cache RSS(p_i) that the
+// epidemic protocol maintains (paper Section III.B), and the running
+// aggregation estimates.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dpjit::gossip {
+
+/// One entry of RSS(p_i): the freshest state this node knows about a peer.
+struct ResourceEntry {
+  NodeId node;
+  /// Total load (MI) queued + running at `node` when the state was sampled.
+  double load_mi = 0.0;
+  /// Node capacity in MIPS.
+  double capacity_mips = 1.0;
+  /// Simulated time at which `node` sampled this state.
+  SimTime stamped_at = 0.0;
+  /// Remaining epidemic forwarding hops (paper: TTL = 4).
+  int ttl = 0;
+};
+
+/// Bounded freshest-first cache of ResourceEntry, one per known peer.
+class ResourceView {
+ public:
+  explicit ResourceView(std::size_t capacity = 30) : capacity_(capacity) {}
+
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Merges an incoming entry: replaces an older entry about the same node,
+  /// inserts otherwise. When full, the stalest entry is evicted if the
+  /// incoming one is fresher. Returns true if the view changed.
+  bool merge(const ResourceEntry& entry);
+
+  /// Drops entries older than `now - max_age` and entries about `self`.
+  void expire(SimTime now, double max_age, NodeId self);
+
+  /// Removes the entry about a node (e.g. observed dead). Returns true if found.
+  bool forget(NodeId node);
+
+  /// Updates the load recorded for `node` (local correction after dispatching
+  /// work to it - Algorithm 1 line 15). Returns false if unknown.
+  bool adjust_load(NodeId node, double delta_mi);
+
+  [[nodiscard]] const std::vector<ResourceEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool contains(NodeId node) const;
+  void clear() { entries_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<ResourceEntry> entries_;
+};
+
+/// Push-pull averaging state for one metric (Jelasity et al., TOCS 2005).
+/// The estimate actually *used* is the one published by the last completed
+/// epoch; the current epoch's value keeps converging in the background and is
+/// re-seeded from the local observation at every epoch boundary so that the
+/// aggregate tracks churn.
+struct AggregationState {
+  double current = 0.0;    ///< value being averaged this epoch
+  double published = 0.0;  ///< converged value from the previous epoch
+};
+
+}  // namespace dpjit::gossip

@@ -1,0 +1,64 @@
+// Node churn model (paper Section IV.B, dynamic environment).
+//
+// The dynamic factor df is the ratio of churning nodes to the total node count
+// per scheduling interval: with df = 0.1 and n = 1000, every interval 100
+// alive dynamic nodes disconnect and 100 departed dynamic nodes rejoin.
+// Stable nodes (the home nodes holding workflows) never churn - the paper
+// excludes home-node failure because checkpointing is out of scope.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/periodic.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dpjit::grid {
+
+class ChurnModel {
+ public:
+  struct Params {
+    /// Fraction of the total node count that leaves AND joins per interval.
+    double dynamic_factor = 0.0;
+    /// Nodes [0, stable_count) never churn.
+    int stable_count = 0;
+    /// Churn step period in seconds (paper: the task scheduling interval).
+    double interval_s = 900.0;
+  };
+
+  using AliveFn = std::function<bool(NodeId)>;
+  using ChurnFn = std::function<void(NodeId)>;
+
+  /// `on_leave` / `on_join` perform the actual state changes (the system owns
+  /// aliveness); the model only decides who churns and when.
+  ChurnModel(sim::Engine& engine, Params params, int node_count, util::Rng rng,
+             AliveFn alive, ChurnFn on_leave, ChurnFn on_join);
+
+  /// Starts periodic churn steps (no-op when dynamic_factor == 0).
+  void start();
+  void stop();
+
+  /// Executes one churn step now (tests drive this directly).
+  void step();
+
+  [[nodiscard]] bool is_stable(NodeId n) const { return n.get() < params_.stable_count; }
+  [[nodiscard]] std::uint64_t total_leaves() const { return leaves_; }
+  [[nodiscard]] std::uint64_t total_joins() const { return joins_; }
+
+ private:
+  sim::Engine& engine_;
+  Params params_;
+  int n_;
+  util::Rng rng_;
+  AliveFn alive_;
+  ChurnFn on_leave_;
+  ChurnFn on_join_;
+  std::unique_ptr<sim::PeriodicProcess> process_;
+  std::uint64_t leaves_ = 0;
+  std::uint64_t joins_ = 0;
+};
+
+}  // namespace dpjit::grid

@@ -1,0 +1,93 @@
+#include "grid/grid_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dpjit::grid {
+
+GridNode::GridNode(NodeId id, double capacity_mips) : id_(id), capacity_(capacity_mips) {
+  if (capacity_mips <= 0.0) throw std::invalid_argument("GridNode: capacity must be > 0");
+}
+
+void GridNode::add_ready(ReadyTask task) {
+  assert(find_ready(task.ref) == nullptr && "duplicate ready task");
+  ready_.push_back(std::move(task));
+}
+
+ReadyTask* GridNode::find_ready(TaskRef ref) {
+  for (auto& t : ready_) {
+    if (t.ref == ref) return &t;
+  }
+  return nullptr;
+}
+
+const ReadyTask* GridNode::find_ready(TaskRef ref) const {
+  for (const auto& t : ready_) {
+    if (t.ref == ref) return &t;
+  }
+  return nullptr;
+}
+
+bool GridNode::remove_ready(TaskRef ref) {
+  const auto before = ready_.size();
+  std::erase_if(ready_, [&](const ReadyTask& t) { return t.ref == ref; });
+  return ready_.size() != before;
+}
+
+std::vector<const ReadyTask*> GridNode::data_complete() const {
+  std::vector<const ReadyTask*> out;
+  for (const auto& t : ready_) {
+    if (t.pending_inputs == 0) out.push_back(&t);
+  }
+  return out;
+}
+
+std::vector<ReadyTask> GridNode::drain_ready() {
+  std::vector<ReadyTask> out = std::move(ready_);
+  ready_.clear();
+  return out;
+}
+
+double GridNode::start_running(TaskRef ref, SimTime now) {
+  if (busy()) throw std::logic_error("GridNode::start_running: CPU busy");
+  ReadyTask* t = find_ready(ref);
+  if (t == nullptr) throw std::logic_error("GridNode::start_running: task not in ready set");
+  if (t->pending_inputs != 0) {
+    throw std::logic_error("GridNode::start_running: inputs still pending");
+  }
+  running_ = *t;
+  remove_ready(ref);
+  const double duration = running_->load_mi / capacity_;
+  run_started_ = now;
+  run_finishes_ = now + duration;
+  return duration;
+}
+
+ReadyTask GridNode::finish_running() {
+  if (!busy()) throw std::logic_error("GridNode::finish_running: CPU idle");
+  ReadyTask t = *running_;
+  running_.reset();
+  run_started_ = run_finishes_ = kNoTime;
+  return t;
+}
+
+std::optional<ReadyTask> GridNode::abort_running() {
+  std::optional<ReadyTask> t = running_;
+  running_.reset();
+  run_started_ = run_finishes_ = kNoTime;
+  return t;
+}
+
+double GridNode::total_load_mi(SimTime now) const {
+  double sum = 0.0;
+  for (const auto& t : ready_) sum += t.load_mi;
+  if (running_) {
+    const double span = run_finishes_ - run_started_;
+    const double frac = span <= 0.0 ? 0.0 : std::clamp((run_finishes_ - now) / span, 0.0, 1.0);
+    sum += running_->load_mi * frac;
+  }
+  return sum;
+}
+
+}  // namespace dpjit::grid

@@ -1,0 +1,169 @@
+#include "grid/transfer_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace dpjit::grid {
+namespace {
+/// Remaining volume below this is considered delivered (numerical slack).
+constexpr double kEpsilonMb = 1e-9;
+}  // namespace
+
+TransferManager::TransferManager(sim::Engine& engine, const net::Topology& topo,
+                                 const net::Routing& routing, Mode mode)
+    : engine_(engine), topo_(topo), routing_(routing), mode_(mode) {}
+
+std::uint64_t TransferManager::start(NodeId src, NodeId dst, double size_mb,
+                                     CompletionFn on_done) {
+  assert(size_mb >= 0.0);
+  const std::uint64_t id = next_id_++;
+  Flow flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.size_mb = size_mb;
+  flow.remaining_mb = size_mb;
+  flow.on_done = std::move(on_done);
+
+  if (src == dst) {
+    // Loopback: deliver after zero delay (still asynchronously).
+    auto [it, ok] = flows_.emplace(id, std::move(flow));
+    (void)ok;
+    it->second.event = engine_.schedule_in(0.0, [this, id] { finish(id, true); });
+    return id;
+  }
+
+  const double latency = routing_.latency_s(src, dst);
+  if (!std::isfinite(latency)) {
+    // Unreachable pair (cannot happen on connected topologies; defensive).
+    auto [it, ok] = flows_.emplace(id, std::move(flow));
+    (void)ok;
+    it->second.event = engine_.schedule_in(0.0, [this, id] { finish(id, false); });
+    return id;
+  }
+
+  if (mode_ == Mode::kBottleneck) {
+    const double duration = latency + size_mb / routing_.bandwidth_mbps(src, dst);
+    auto [it, ok] = flows_.emplace(id, std::move(flow));
+    (void)ok;
+    it->second.event = engine_.schedule_in(duration, [this, id] { finish(id, true); });
+    return id;
+  }
+
+  // Fair-sharing mode: propagation first, then join the fluid pool.
+  flow.links = routing_.path_links(src, dst);
+  flow.latency_pending = true;
+  flows_.emplace(id, std::move(flow));
+  flows_.at(id).event = engine_.schedule_in(latency, [this, id] { fair_flow_started(id); });
+  return id;
+}
+
+void TransferManager::finish(std::uint64_t id, bool success) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  CompletionFn cb = std::move(it->second.on_done);
+  const bool was_fluid = mode_ == Mode::kFairSharing && !it->second.latency_pending &&
+                         it->second.src != it->second.dst;
+  if (success) {
+    ++completed_;
+    delivered_mb_ += it->second.size_mb;
+  }
+  engine_.cancel(it->second.event);
+  flows_.erase(it);
+  if (was_fluid) {
+    fair_recompute();
+  }
+  if (cb) cb(success);
+}
+
+void TransferManager::node_left(NodeId n) {
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.src == n || flow.dst == n) doomed.push_back(id);
+  }
+  for (std::uint64_t id : doomed) finish(id, false);
+}
+
+bool TransferManager::abort(std::uint64_t id) {
+  if (flows_.find(id) == flows_.end()) return false;
+  finish(id, false);
+  return true;
+}
+
+// --- fair-sharing machinery -------------------------------------------------
+
+void TransferManager::fair_flow_started(std::uint64_t id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  it->second.latency_pending = false;
+  it->second.last_update = engine_.now();
+  if (it->second.remaining_mb <= kEpsilonMb) {
+    finish(id, true);
+    return;
+  }
+  fair_recompute();
+}
+
+void TransferManager::fair_advance_to_now() {
+  const SimTime now = engine_.now();
+  const double dt = now - fair_clock_;
+  if (dt > 0.0) {
+    for (auto& [id, flow] : flows_) {
+      if (flow.latency_pending || flow.src == flow.dst) continue;
+      flow.remaining_mb = std::max(0.0, flow.remaining_mb - flow.rate_mbps * dt);
+    }
+  }
+  fair_clock_ = now;
+}
+
+void TransferManager::fair_recompute() {
+  fair_advance_to_now();
+
+  // Deliver anything that crossed the finish line while rates were stale.
+  std::vector<std::uint64_t> done;
+  for (auto& [id, flow] : flows_) {
+    if (!flow.latency_pending && flow.src != flow.dst && flow.remaining_mb <= kEpsilonMb) {
+      done.push_back(id);
+    }
+  }
+  for (std::uint64_t id : done) finish(id, true);  // finish() re-enters fair_recompute
+  if (!done.empty()) return;
+
+  // Solve max-min fairness for the active fluid flows.
+  std::vector<std::uint64_t> ids;
+  std::vector<net::FlowPath> paths;
+  for (auto& [id, flow] : flows_) {
+    if (flow.latency_pending || flow.src == flow.dst) continue;
+    ids.push_back(id);
+    paths.push_back(net::FlowPath{flow.links});
+  }
+  if (!ids.empty()) {
+    std::vector<double> capacity;
+    capacity.reserve(topo_.link_count());
+    for (const auto& link : topo_.links()) capacity.push_back(link.bandwidth_mbps);
+    const auto rates = net::max_min_fair_rates(paths, capacity);
+    for (std::size_t i = 0; i < ids.size(); ++i) flows_.at(ids[i]).rate_mbps = rates[i];
+  }
+  fair_schedule_next_completion();
+}
+
+void TransferManager::fair_schedule_next_completion() {
+  if (fair_event_armed_) {
+    engine_.cancel(fair_event_);
+    fair_event_armed_ = false;
+  }
+  double soonest = kInf;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.latency_pending || flow.src == flow.dst || flow.rate_mbps <= 0.0) continue;
+    soonest = std::min(soonest, flow.remaining_mb / flow.rate_mbps);
+  }
+  if (!std::isfinite(soonest)) return;
+  fair_event_ = engine_.schedule_in(soonest, [this] {
+    fair_event_armed_ = false;
+    fair_recompute();
+  });
+  fair_event_armed_ = true;
+}
+
+}  // namespace dpjit::grid

@@ -1,0 +1,85 @@
+// Data movement between peer nodes.
+//
+// Two network models:
+//  - kBottleneck (default, matches the paper's evaluation): a transfer takes
+//    latency(path) + size / bottleneck-bandwidth(path); transfers do not
+//    contend with each other.
+//  - kFairSharing (ablation): live fluid model where concurrent transfers
+//    crossing a link share it max-min fairly; rates are recomputed whenever a
+//    flow starts or ends (SimGrid-style progressive filling).
+//
+// Transfers abort with success=false when either endpoint leaves the system.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/flow_sharing.hpp"
+#include "net/routing.hpp"
+#include "sim/engine.hpp"
+
+namespace dpjit::grid {
+
+class TransferManager {
+ public:
+  enum class Mode { kBottleneck, kFairSharing };
+
+  /// Completion callback: success=false means the transfer was aborted.
+  using CompletionFn = std::function<void(bool success)>;
+
+  TransferManager(sim::Engine& engine, const net::Topology& topo, const net::Routing& routing,
+                  Mode mode = Mode::kBottleneck);
+
+  /// Starts a transfer of `size_mb` megabits from src to dst; the callback
+  /// fires (asynchronously) on delivery or abort. Loopback (src == dst)
+  /// transfers complete after zero delay. Returns a transfer id.
+  std::uint64_t start(NodeId src, NodeId dst, double size_mb, CompletionFn on_done);
+
+  /// Aborts every in-flight transfer with an endpoint at `n` (node departure).
+  void node_left(NodeId n);
+
+  /// Aborts one transfer by id; false if already completed.
+  bool abort(std::uint64_t id);
+
+  [[nodiscard]] std::size_t active_count() const { return flows_.size(); }
+  [[nodiscard]] std::uint64_t completed_count() const { return completed_; }
+  [[nodiscard]] double total_delivered_mb() const { return delivered_mb_; }
+  [[nodiscard]] Mode mode() const { return mode_; }
+
+ private:
+  struct Flow {
+    NodeId src;
+    NodeId dst;
+    double size_mb = 0.0;
+    double remaining_mb = 0.0;
+    double rate_mbps = 0.0;          // current allocated rate (fair mode)
+    SimTime last_update = 0.0;       // fair mode: when remaining_mb was valid
+    std::vector<LinkId> links;       // fair mode: route
+    CompletionFn on_done;
+    sim::EventQueue::Handle event = 0;  // bottleneck mode completion event
+    bool latency_pending = false;       // fair mode: still in propagation delay
+  };
+
+  void finish(std::uint64_t id, bool success);
+
+  // --- fair-sharing machinery ---
+  void fair_flow_started(std::uint64_t id);
+  void fair_recompute();
+  void fair_advance_to_now();
+  void fair_schedule_next_completion();
+
+  sim::Engine& engine_;
+  const net::Topology& topo_;
+  const net::Routing& routing_;
+  Mode mode_;
+  std::unordered_map<std::uint64_t, Flow> flows_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t completed_ = 0;
+  double delivered_mb_ = 0.0;
+  sim::EventQueue::Handle fair_event_ = 0;
+  bool fair_event_armed_ = false;
+  SimTime fair_clock_ = 0.0;
+};
+
+}  // namespace dpjit::grid

@@ -1,0 +1,74 @@
+#include "net/flow_sharing.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace dpjit::net {
+
+std::vector<double> max_min_fair_rates(const std::vector<FlowPath>& flows,
+                                       const std::vector<double>& link_capacity_mbps) {
+  const std::size_t nf = flows.size();
+  std::vector<double> rate(nf, 0.0);
+  std::vector<char> frozen(nf, 0);
+
+  // Remaining capacity per link and the number of unfrozen flows crossing it.
+  std::vector<double> remaining = link_capacity_mbps;
+  std::vector<int> active_count(link_capacity_mbps.size(), 0);
+
+  std::size_t unfrozen = 0;
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (flows[f].links.empty()) {
+      rate[f] = kInf;  // loopback: no shared resource
+      frozen[f] = 1;
+      continue;
+    }
+    ++unfrozen;
+    for (LinkId l : flows[f].links) {
+      assert(l.valid() && static_cast<std::size_t>(l.get()) < link_capacity_mbps.size());
+      ++active_count[static_cast<std::size_t>(l.get())];
+    }
+  }
+
+  while (unfrozen > 0) {
+    // Find the link with the smallest fair share among links carrying flows.
+    double share = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < remaining.size(); ++l) {
+      if (active_count[l] > 0) {
+        share = std::min(share, remaining[l] / active_count[l]);
+      }
+    }
+    if (!std::isfinite(share)) break;  // defensive: no constrained link left
+    share = std::max(share, 0.0);
+
+    // Freeze every unfrozen flow crossing a link that saturates at `share`.
+    // (Comparing the fair share with a small tolerance keeps this robust.)
+    bool froze_any = false;
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (frozen[f]) continue;
+      bool bottlenecked = false;
+      for (LinkId l : flows[f].links) {
+        const auto li = static_cast<std::size_t>(l.get());
+        if (remaining[li] / active_count[li] <= share * (1.0 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      rate[f] = share;
+      frozen[f] = 1;
+      froze_any = true;
+      --unfrozen;
+      for (LinkId l : flows[f].links) {
+        const auto li = static_cast<std::size_t>(l.get());
+        remaining[li] -= share;
+        if (remaining[li] < 0.0) remaining[li] = 0.0;
+        --active_count[li];
+      }
+    }
+    if (!froze_any) break;  // defensive: numerical stalemate
+  }
+  return rate;
+}
+
+}  // namespace dpjit::net

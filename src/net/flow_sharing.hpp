@@ -1,0 +1,27 @@
+// Max-min fair bandwidth allocation among concurrent flows (progressive
+// filling). This is the optional contended network model: the paper's own
+// evaluation - like most grid simulators of its era - charges each transfer
+// the full bottleneck bandwidth of its path; the flow-sharing model is our
+// ablation showing how the scheduling comparison behaves when transfers
+// crossing the same link share it fairly.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dpjit::net {
+
+/// One flow: the set of link ids its route crosses.
+struct FlowPath {
+  std::vector<LinkId> links;
+};
+
+/// Computes the max-min fair rate (Mb/s) of each flow given per-link
+/// capacities. Flows with an empty path (loopback transfers) get +inf.
+/// Progressive filling: repeatedly saturate the most constrained link,
+/// freezing its flows at the fair share. O(iterations * flows * links).
+[[nodiscard]] std::vector<double> max_min_fair_rates(const std::vector<FlowPath>& flows,
+                                                     const std::vector<double>& link_capacity_mbps);
+
+}  // namespace dpjit::net

@@ -1,0 +1,67 @@
+#include "net/landmark.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dpjit::net {
+
+LandmarkEstimator::LandmarkEstimator(const Routing& routing, int landmark_count,
+                                     util::Rng& rng) {
+  const int n = routing.node_count();
+  if (landmark_count < 1) throw std::invalid_argument("landmark_count >= 1");
+  landmark_count = std::min(landmark_count, n);
+  for (std::size_t i : rng.sample_indices(static_cast<std::size_t>(n),
+                                          static_cast<std::size_t>(landmark_count))) {
+    landmarks_.push_back(NodeId{static_cast<NodeId::underlying_type>(i)});
+  }
+  std::sort(landmarks_.begin(), landmarks_.end());
+
+  vectors_.resize(static_cast<std::size_t>(n));
+  for (int u = 0; u < n; ++u) {
+    auto& vec = vectors_[static_cast<std::size_t>(u)];
+    vec.reserve(landmarks_.size());
+    for (NodeId l : landmarks_) {
+      const double bw = (NodeId{u} == l) ? kInf : routing.bandwidth_mbps(NodeId{u}, l);
+      vec.push_back(bw);
+    }
+  }
+}
+
+const std::vector<double>& LandmarkEstimator::vector_of(NodeId n) const {
+  assert(n.valid() && static_cast<std::size_t>(n.get()) < vectors_.size());
+  return vectors_[static_cast<std::size_t>(n.get())];
+}
+
+double LandmarkEstimator::estimate_mbps(NodeId u, NodeId v, double fallback_mbps) const {
+  if (u == v) return kInf;
+  const auto& vu = vector_of(u);
+  const auto& vv = vector_of(v);
+  double best = 0.0;
+  for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+    best = std::max(best, std::min(vu[i], vv[i]));
+  }
+  if (best <= 0.0 || !std::isfinite(best)) {
+    // `best` is infinite when u or v *is* a landmark and the other side's
+    // bandwidth to it is infinite too (u == v case is excluded above), which
+    // cannot happen for distinct nodes; 0 means no landmark is reachable.
+    return best > 0.0 ? best : fallback_mbps;
+  }
+  return best;
+}
+
+double LandmarkEstimator::local_mean_mbps(NodeId n) const {
+  const auto& vec = vector_of(n);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (double bw : vec) {
+    if (std::isfinite(bw)) {
+      sum += bw;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace dpjit::net

@@ -1,0 +1,43 @@
+// Landmark-based bandwidth estimation (paper Section III.B, citing the
+// "bandwidth landmarking" mechanism [17]).
+//
+// Each node measures the bottleneck bandwidth of its route to each of
+// log2(n) landmark nodes and gossips that small vector. Any node that knows
+// the vectors of u and v can estimate bandwidth(u, v) without ever probing the
+// pair directly: the estimate is max over landmarks L of
+// min(bw(u,L), bw(L,v)) - the best u -> L -> v relay bottleneck.
+#pragma once
+
+#include <vector>
+
+#include "net/routing.hpp"
+
+namespace dpjit::net {
+
+/// Holds the landmark set and per-node measurement vectors.
+class LandmarkEstimator {
+ public:
+  /// Selects `landmark_count` landmarks (>= 1, clamped to n) deterministically
+  /// from `rng` and measures every node's bandwidth to each landmark using
+  /// ground-truth routing (in a deployment this is an actual probe).
+  LandmarkEstimator(const Routing& routing, int landmark_count, util::Rng& rng);
+
+  [[nodiscard]] const std::vector<NodeId>& landmarks() const { return landmarks_; }
+
+  /// The measurement vector a node would gossip (bandwidth to each landmark).
+  [[nodiscard]] const std::vector<double>& vector_of(NodeId n) const;
+
+  /// Estimated bandwidth between two nodes via the best common landmark.
+  /// Falls back to `fallback_mbps` when the estimate degenerates to 0.
+  [[nodiscard]] double estimate_mbps(NodeId u, NodeId v, double fallback_mbps = 1.0) const;
+
+  /// Mean of a node's landmark bandwidths: its locally observable "network
+  /// condition", the value it feeds into aggregation gossip.
+  [[nodiscard]] double local_mean_mbps(NodeId n) const;
+
+ private:
+  std::vector<NodeId> landmarks_;
+  std::vector<std::vector<double>> vectors_;  // [node][landmark]
+};
+
+}  // namespace dpjit::net

@@ -1,0 +1,120 @@
+#include "net/routing.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace dpjit::net {
+
+Routing::Routing(const Topology& topo) : n_(topo.node_count()), topo_(&topo) {
+  const auto nn = static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
+  latency_.assign(nn, std::numeric_limits<float>::infinity());
+  bandwidth_.assign(nn, 0.0f);
+  next_link_.assign(nn, LinkId::kInvalid);
+
+  using QEntry = std::pair<double, int>;  // (distance, node)
+  std::vector<double> dist(static_cast<std::size_t>(n_));
+  std::vector<LinkId> via(static_cast<std::size_t>(n_));      // link used to reach node
+  std::vector<int> parent(static_cast<std::size_t>(n_));      // previous node on path
+
+  for (int src = 0; src < n_; ++src) {
+    std::fill(dist.begin(), dist.end(), std::numeric_limits<double>::infinity());
+    std::fill(via.begin(), via.end(), LinkId{});
+    std::fill(parent.begin(), parent.end(), -1);
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+    dist[static_cast<std::size_t>(src)] = 0.0;
+    pq.emplace(0.0, src);
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[static_cast<std::size_t>(u)]) continue;
+      for (LinkId l : topo.incident(NodeId{u})) {
+        const Link& link = topo.link(l);
+        const int v = topo.other_end(l, NodeId{u}).get();
+        const double nd = d + link.latency_s;
+        // Strict improvement keeps the route deterministic (first-found wins on ties).
+        if (nd < dist[static_cast<std::size_t>(v)]) {
+          dist[static_cast<std::size_t>(v)] = nd;
+          via[static_cast<std::size_t>(v)] = l;
+          parent[static_cast<std::size_t>(v)] = u;
+          pq.emplace(nd, v);
+        }
+      }
+    }
+    // Fill matrices: walk parents back to the source for bottleneck/next-hop.
+    const NodeId s{src};
+    latency_[idx(s, s)] = 0.0f;
+    bandwidth_[idx(s, s)] = std::numeric_limits<float>::infinity();
+    for (int v = 0; v < n_; ++v) {
+      if (v == src || parent[static_cast<std::size_t>(v)] < 0) continue;
+      const NodeId dst{v};
+      latency_[idx(s, dst)] = static_cast<float>(dist[static_cast<std::size_t>(v)]);
+      // Walk back from v to src accumulating the bottleneck and the first link.
+      double bottleneck = std::numeric_limits<double>::infinity();
+      int cur = v;
+      LinkId first_link{};
+      while (cur != src) {
+        const LinkId l = via[static_cast<std::size_t>(cur)];
+        bottleneck = std::min(bottleneck, topo.link(l).bandwidth_mbps);
+        first_link = l;
+        cur = parent[static_cast<std::size_t>(cur)];
+      }
+      bandwidth_[idx(s, dst)] = static_cast<float>(bottleneck);
+      next_link_[idx(s, dst)] = first_link.get();
+    }
+  }
+}
+
+double Routing::latency_s(NodeId u, NodeId v) const {
+  assert(u.valid() && v.valid() && u.get() < n_ && v.get() < n_);
+  return latency_[idx(u, v)];
+}
+
+double Routing::bandwidth_mbps(NodeId u, NodeId v) const {
+  assert(u.valid() && v.valid() && u.get() < n_ && v.get() < n_);
+  return bandwidth_[idx(u, v)];
+}
+
+double Routing::transfer_time_s(NodeId u, NodeId v, double mb) const {
+  if (u == v) return 0.0;
+  const double bw = bandwidth_mbps(u, v);
+  if (bw <= 0.0) return kInf;
+  return latency_s(u, v) + mb / bw;
+}
+
+int Routing::hops(NodeId u, NodeId v) const {
+  return static_cast<int>(path_links(u, v).size());
+}
+
+std::vector<LinkId> Routing::path_links(NodeId u, NodeId v) const {
+  std::vector<LinkId> path;
+  if (u == v) return path;
+  NodeId cur = u;
+  while (cur != v) {
+    const auto raw = next_link_[idx(cur, v)];
+    if (raw == LinkId::kInvalid) return {};  // unreachable
+    const LinkId l{raw};
+    path.push_back(l);
+    cur = topo_->other_end(l, cur);
+  }
+  return path;
+}
+
+double Routing::mean_pair_bandwidth_mbps() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (int u = 0; u < n_; ++u) {
+    for (int v = 0; v < n_; ++v) {
+      if (u == v) continue;
+      const float bw = bandwidth_[idx(NodeId{u}, NodeId{v})];
+      if (bw > 0.0f && std::isfinite(bw)) {
+        sum += bw;
+        ++count;
+      }
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace dpjit::net

@@ -1,0 +1,60 @@
+// Shortest-path routing over the topology.
+//
+// Paths are latency-shortest (Dijkstra per source). For every ordered pair we
+// precompute the end-to-end latency and the *bottleneck bandwidth* (minimum
+// link bandwidth along the chosen path) - the quantity the paper's
+// `bandwidth(p_h', p_h)` denotes - plus a next-hop matrix from which full
+// paths can be reconstructed for the flow-sharing network model.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace dpjit::net {
+
+/// All-pairs routing derived from a Topology. Immutable after construction.
+class Routing {
+ public:
+  /// Runs Dijkstra from every source. O(n * E log n); fine for n <= ~4000.
+  explicit Routing(const Topology& topo);
+
+  /// End-to-end latency in seconds; 0 for u == v; +inf when unreachable.
+  [[nodiscard]] double latency_s(NodeId u, NodeId v) const;
+
+  /// Bottleneck bandwidth (Mb/s) along the routed path; +inf for u == v;
+  /// 0 when unreachable.
+  [[nodiscard]] double bandwidth_mbps(NodeId u, NodeId v) const;
+
+  /// Time in seconds to transfer `mb` megabits from u to v:
+  /// latency + mb / bottleneck-bandwidth. 0 when u == v. +inf when unreachable.
+  [[nodiscard]] double transfer_time_s(NodeId u, NodeId v, double mb) const;
+
+  /// Hop count of the routed path (0 for u == v).
+  [[nodiscard]] int hops(NodeId u, NodeId v) const;
+
+  /// Sequence of link ids from u to v (empty when u == v or unreachable).
+  [[nodiscard]] std::vector<LinkId> path_links(NodeId u, NodeId v) const;
+
+  [[nodiscard]] int node_count() const { return n_; }
+
+  /// Mean pairwise bottleneck bandwidth over all ordered pairs u != v that are
+  /// reachable - the "true" system average used when computing eft (Eq. 1).
+  [[nodiscard]] double mean_pair_bandwidth_mbps() const;
+
+ private:
+  [[nodiscard]] std::size_t idx(NodeId u, NodeId v) const {
+    return static_cast<std::size_t>(u.get()) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(v.get());
+  }
+
+  int n_ = 0;
+  const Topology* topo_ = nullptr;
+  // Flattened n x n matrices (float to halve memory at n = 2000).
+  std::vector<float> latency_;
+  std::vector<float> bandwidth_;
+  // next_hop_[u][v] = link id of the first hop on the u -> v path.
+  std::vector<LinkId::underlying_type> next_link_;
+};
+
+}  // namespace dpjit::net

@@ -1,0 +1,55 @@
+#include "net/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpjit::net {
+
+TopologyStats topology_stats(const Topology& topo, const Routing& routing) {
+  TopologyStats s;
+  s.nodes = topo.node_count();
+  s.links = topo.link_count();
+  s.connected = topo.connected();
+
+  s.min_degree = s.nodes > 0 ? static_cast<int>(topo.incident(NodeId{0}).size()) : 0;
+  for (int i = 0; i < s.nodes; ++i) {
+    const int deg = static_cast<int>(topo.incident(NodeId{i}).size());
+    s.mean_degree += deg;
+    s.min_degree = std::min(s.min_degree, deg);
+    s.max_degree = std::max(s.max_degree, deg);
+  }
+  if (s.nodes > 0) s.mean_degree /= s.nodes;
+
+  double lat_sum = 0.0;
+  double bw_sum = 0.0;
+  std::size_t pairs = 0;
+  for (int u = 0; u < s.nodes; ++u) {
+    for (int v = u + 1; v < s.nodes; ++v) {
+      const double lat = routing.latency_s(NodeId{u}, NodeId{v});
+      if (!std::isfinite(lat)) continue;
+      lat_sum += lat;
+      s.max_latency_s = std::max(s.max_latency_s, lat);
+      bw_sum += routing.bandwidth_mbps(NodeId{u}, NodeId{v});
+      s.hop_diameter = std::max(s.hop_diameter, routing.hops(NodeId{u}, NodeId{v}));
+      ++pairs;
+    }
+  }
+  if (pairs > 0) {
+    s.mean_latency_s = lat_sum / static_cast<double>(pairs);
+    s.mean_bandwidth_mbps = bw_sum / static_cast<double>(pairs);
+  }
+  return s;
+}
+
+void print_topology_stats(std::ostream& os, const TopologyStats& s) {
+  os << "topology: " << s.nodes << " nodes, " << s.links << " links"
+     << (s.connected ? " (connected)" : " (DISCONNECTED)") << '\n'
+     << "  degree: mean " << s.mean_degree << ", min " << s.min_degree << ", max "
+     << s.max_degree << '\n'
+     << "  hop diameter: " << s.hop_diameter << '\n'
+     << "  latency: mean " << s.mean_latency_s * 1000.0 << " ms, max "
+     << s.max_latency_s * 1000.0 << " ms\n"
+     << "  mean pair bottleneck bandwidth: " << s.mean_bandwidth_mbps << " Mb/s\n";
+}
+
+}  // namespace dpjit::net

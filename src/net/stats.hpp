@@ -1,0 +1,34 @@
+// Topology statistics: the numbers one checks to confirm a generated WAN
+// "looks like" Brite output (degree distribution, hop diameter, latency and
+// bottleneck-bandwidth distributions).
+#pragma once
+
+#include <ostream>
+
+#include "net/routing.hpp"
+
+namespace dpjit::net {
+
+struct TopologyStats {
+  int nodes = 0;
+  std::size_t links = 0;
+  double mean_degree = 0.0;
+  int min_degree = 0;
+  int max_degree = 0;
+  /// Longest shortest path in hops over reachable pairs.
+  int hop_diameter = 0;
+  double mean_latency_s = 0.0;
+  double max_latency_s = 0.0;
+  /// Mean pairwise bottleneck bandwidth (Mb/s).
+  double mean_bandwidth_mbps = 0.0;
+  /// True when all pairs are reachable.
+  bool connected = true;
+};
+
+/// Computes the statistics (O(n^2) pair scan over the routing tables).
+[[nodiscard]] TopologyStats topology_stats(const Topology& topo, const Routing& routing);
+
+/// Human-readable dump.
+void print_topology_stats(std::ostream& os, const TopologyStats& stats);
+
+}  // namespace dpjit::net

@@ -1,0 +1,84 @@
+// Internet-like WAN topology, replacing the paper's Brite tool.
+//
+// Brite's router-level Waxman mode places nodes uniformly on a plane and adds
+// links with probability P(u,v) = alpha * exp(-d(u,v) / (beta * L)) where d is
+// the Euclidean distance and L the plane diagonal. We reproduce Brite's
+// *incremental growth* variant: nodes join one at a time and connect to
+// `links_per_node` existing nodes sampled with Waxman weights, which guarantees
+// a connected graph (what Brite does when asked for a connected topology).
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dpjit::net {
+
+/// 2-D position on the Brite plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance between two points.
+[[nodiscard]] double distance(const Point& a, const Point& b);
+
+/// An undirected physical link.
+struct Link {
+  NodeId a;
+  NodeId b;
+  /// Link capacity in Mb/s (paper Table I: 0.1 - 10 Mb/s).
+  double bandwidth_mbps = 1.0;
+  /// Propagation latency in seconds (derived from Euclidean distance).
+  double latency_s = 0.0;
+};
+
+/// Waxman/Brite generation parameters. Defaults follow common Brite settings
+/// and paper Table I for link bandwidth.
+struct TopologyParams {
+  int node_count = 100;
+  double alpha = 0.15;        ///< Waxman alpha (link probability scale)
+  double beta = 0.2;          ///< Waxman beta (distance sensitivity)
+  int links_per_node = 2;     ///< Brite incremental-growth links per new node
+  double plane_size = 1000.0; ///< side of the square placement plane
+  double min_bandwidth_mbps = 0.1;
+  double max_bandwidth_mbps = 10.0;
+  /// Latency per plane distance unit, seconds (default ~ 10 us/unit, i.e.
+  /// roughly fiber propagation if one unit is a kilometre).
+  double latency_per_unit = 1e-5;
+
+  void validate() const;  ///< throws std::invalid_argument on bad bounds
+};
+
+/// An immutable undirected multigraph-free topology with node positions.
+class Topology {
+ public:
+  /// Generates a connected Waxman topology; deterministic in `rng`.
+  static Topology generate_waxman(const TopologyParams& params, util::Rng& rng);
+
+  /// Builds a topology from an explicit link list (used by tests).
+  static Topology from_links(int node_count, std::vector<Link> links);
+
+  [[nodiscard]] int node_count() const { return static_cast<int>(positions_.size()); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const Point& position(NodeId n) const;
+  [[nodiscard]] const Link& link(LinkId l) const;
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  /// Links incident to `n` (as link ids).
+  [[nodiscard]] const std::vector<LinkId>& incident(NodeId n) const;
+
+  /// Neighbor on the other side of link `l` from node `n`.
+  [[nodiscard]] NodeId other_end(LinkId l, NodeId n) const;
+
+  /// True when every node can reach every other node.
+  [[nodiscard]] bool connected() const;
+
+ private:
+  std::vector<Point> positions_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> incident_;
+};
+
+}  // namespace dpjit::net

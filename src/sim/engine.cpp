@@ -1,0 +1,43 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace dpjit::sim {
+
+EventQueue::Handle Engine::schedule_at(SimTime t, EventFn fn) {
+  if (t < now_) throw std::logic_error("Engine::schedule_at: time is in the past");
+  return queue_.schedule(t, std::move(fn));
+}
+
+EventQueue::Handle Engine::schedule_in(double delay, EventFn fn) {
+  if (delay < 0.0) throw std::logic_error("Engine::schedule_in: negative delay");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventQueue::Handle h) { return queue_.cancel(h); }
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  auto [t, fn] = queue_.pop();
+  now_ = t;
+  ++processed_;
+  fn();
+  return true;
+}
+
+void Engine::run_until(SimTime end) {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > end) break;
+    step();
+  }
+  if (now_ < end && !stop_requested_) now_ = end;
+}
+
+void Engine::run_all() {
+  stop_requested_ = false;
+  while (!stop_requested_ && step()) {
+  }
+}
+
+}  // namespace dpjit::sim

@@ -1,0 +1,55 @@
+// The discrete-event simulation engine (our Peersim substitute).
+//
+// Components schedule callbacks at absolute or relative simulated times;
+// the engine executes them in (time, insertion) order. Scheduling into the
+// past is a programming error and throws.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+
+namespace dpjit::sim {
+
+class Engine {
+ public:
+  /// Current simulated time in seconds.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute simulated time `t` (>= now, or throws).
+  EventQueue::Handle schedule_at(SimTime t, EventFn fn);
+
+  /// Schedules `fn` after `delay` seconds (>= 0, or throws).
+  EventQueue::Handle schedule_in(double delay, EventFn fn);
+
+  /// Cancels a pending event; false if it already fired or was cancelled.
+  bool cancel(EventQueue::Handle h);
+
+  /// Executes one event if any is pending. Returns false when idle.
+  bool step();
+
+  /// Runs until the queue drains or simulated time would exceed `end`.
+  /// Events at exactly `end` still run; `now()` is `end` afterwards
+  /// (unless the queue drained earlier, in which case it is the last event time).
+  void run_until(SimTime end);
+
+  /// Runs until the queue drains completely.
+  void run_all();
+
+  /// Makes run_until / run_all return after the current event completes.
+  void request_stop() { stop_requested_ = true; }
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t processed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace dpjit::sim

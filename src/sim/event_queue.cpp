@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace dpjit::sim {
+
+EventQueue::Handle EventQueue::schedule(SimTime t, EventFn fn) {
+  const Handle h = next_seq_++;
+  heap_.push(Entry{t, h});
+  live_.emplace(h, std::move(fn));
+  return h;
+}
+
+bool EventQueue::cancel(Handle h) { return live_.erase(h) > 0; }
+
+void EventQueue::skip_dead() {
+  while (!heap_.empty() && live_.find(heap_.top().seq) == live_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  skip_dead();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+std::pair<SimTime, EventFn> EventQueue::pop() {
+  skip_dead();
+  assert(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = live_.find(top.seq);
+  assert(it != live_.end());
+  EventFn fn = std::move(it->second);
+  live_.erase(it);
+  return {top.time, std::move(fn)};
+}
+
+}  // namespace dpjit::sim

@@ -1,0 +1,62 @@
+// Pending-event set for the discrete-event engine.
+//
+// Events are (time, sequence) ordered: ties on time are broken by insertion
+// order, which makes runs bit-reproducible. Cancellation is O(1) lazy
+// removal (the heap entry is skipped on pop).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dpjit::sim {
+
+/// Callback executed when an event fires.
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Opaque handle for cancellation.
+  using Handle = std::uint64_t;
+
+  /// Schedules `fn` at absolute time `t`. Returns a cancellation handle.
+  Handle schedule(SimTime t, EventFn fn);
+
+  /// Cancels a pending event. Returns false if it already fired/was cancelled.
+  bool cancel(Handle h);
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+
+  /// Number of live (not cancelled) events.
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+
+  /// Time of the earliest live event. Requires !empty().
+  [[nodiscard]] SimTime next_time();
+
+  /// Pops and returns the earliest live event. Requires !empty().
+  std::pair<SimTime, EventFn> pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    Handle seq;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  /// Drops cancelled entries from the heap top.
+  void skip_dead();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<Handle, EventFn> live_;
+  Handle next_seq_ = 0;
+};
+
+}  // namespace dpjit::sim

@@ -1,0 +1,35 @@
+#include "sim/periodic.hpp"
+
+#include <stdexcept>
+
+namespace dpjit::sim {
+
+PeriodicProcess::PeriodicProcess(Engine& engine, SimTime start, double interval, CycleFn fn)
+    : engine_(engine), start_(start), interval_(interval), fn_(std::move(fn)) {
+  if (interval <= 0.0) throw std::invalid_argument("PeriodicProcess: interval must be > 0");
+}
+
+PeriodicProcess::~PeriodicProcess() { stop(); }
+
+void PeriodicProcess::start() {
+  if (running_) return;
+  running_ = true;
+  arm(std::max(start_, engine_.now()));
+}
+
+void PeriodicProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  engine_.cancel(pending_);
+}
+
+void PeriodicProcess::arm(SimTime t) {
+  pending_ = engine_.schedule_at(t, [this] {
+    const std::uint64_t c = cycle_++;
+    // Re-arm before invoking so the callback may stop() us.
+    arm(engine_.now() + interval_);
+    fn_(c);
+  });
+}
+
+}  // namespace dpjit::sim

@@ -1,0 +1,56 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace dpjit::util {
+
+std::string csv_escape(std::string_view field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) os_ << ',';
+    os_ << csv_escape(f);
+    first = false;
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> fields) {
+  bool first = true;
+  for (auto f : fields) {
+    if (!first) os_ << ',';
+    os_ << csv_escape(f);
+    first = false;
+  }
+  os_ << '\n';
+}
+
+std::string CsvWriter::num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string CsvWriter::num(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace dpjit::util

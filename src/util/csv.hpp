@@ -1,0 +1,33 @@
+// RFC-4180-style CSV emission for experiment results.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpjit::util {
+
+/// Quotes a CSV field if it contains separators, quotes or newlines.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Streams rows of comma-separated values to an std::ostream.
+/// The writer does not own the stream; keep it alive while writing.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes one row; fields are escaped as needed.
+  void row(const std::vector<std::string>& fields);
+  void row(std::initializer_list<std::string_view> fields);
+
+  /// Convenience: formats doubles with enough digits to round-trip.
+  static std::string num(double v);
+  static std::string num(std::int64_t v);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace dpjit::util

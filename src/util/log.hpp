@@ -1,0 +1,51 @@
+// Leveled logging. The simulator is silent by default (level = Warn);
+// examples and debugging sessions raise the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dpjit::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-wide minimum level that will be emitted.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+/// RAII line builder: streams into a buffer, emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, ss_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+}  // namespace dpjit::util
+
+#define DPJIT_LOG(level)                                  \
+  if (static_cast<int>(level) < static_cast<int>(::dpjit::util::log_level())) \
+    ;                                                     \
+  else                                                    \
+    ::dpjit::util::detail::LogStream(level)
+
+#define DPJIT_DEBUG() DPJIT_LOG(::dpjit::util::LogLevel::kDebug)
+#define DPJIT_INFO() DPJIT_LOG(::dpjit::util::LogLevel::kInfo)
+#define DPJIT_WARN() DPJIT_LOG(::dpjit::util::LogLevel::kWarn)
+#define DPJIT_ERROR() DPJIT_LOG(::dpjit::util::LogLevel::kError)

@@ -1,0 +1,89 @@
+// Strong identifier types and common aliases shared across all dpjit libraries.
+//
+// Every entity in the simulator (peer node, workflow, task, ...) is referred to
+// by a small integer id. To prevent accidental cross-assignment (e.g. passing a
+// task id where a node id is expected) each id is a distinct tagged type.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace dpjit {
+
+/// Simulated time in seconds since the start of the experiment.
+using SimTime = double;
+
+/// Sentinel meaning "no time" / "not yet happened".
+inline constexpr SimTime kNoTime = -1.0;
+
+/// Positive infinity, used as "never" / "unreachable".
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A strongly typed integer id. `Tag` only disambiguates the type.
+template <typename Tag>
+struct Id {
+  using underlying_type = std::int32_t;
+  static constexpr underlying_type kInvalid = -1;
+
+  underlying_type value = kInvalid;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+  [[nodiscard]] constexpr underlying_type get() const { return value; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+  return os << id.value;
+}
+
+struct NodeTag {};
+struct WorkflowTag {};
+struct TaskTag {};
+struct LinkTag {};
+
+/// Identifies a peer node in the P2P grid (both scheduler and resource role).
+using NodeId = Id<NodeTag>;
+/// Identifies a workflow instance submitted to some home node.
+using WorkflowId = Id<WorkflowTag>;
+/// Identifies a task *within* its workflow (index into the workflow's task list).
+using TaskIndex = Id<TaskTag>;
+/// Identifies a physical link in the network topology.
+using LinkId = Id<LinkTag>;
+
+/// Globally unique reference to a task: (workflow, task index).
+struct TaskRef {
+  WorkflowId workflow;
+  TaskIndex task;
+
+  constexpr auto operator<=>(const TaskRef&) const = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const TaskRef& r) {
+  return os << "wf" << r.workflow << ":t" << r.task;
+}
+
+}  // namespace dpjit
+
+namespace std {
+template <typename Tag>
+struct hash<dpjit::Id<Tag>> {
+  size_t operator()(dpjit::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};
+
+template <>
+struct hash<dpjit::TaskRef> {
+  size_t operator()(const dpjit::TaskRef& r) const noexcept {
+    return (static_cast<size_t>(static_cast<std::uint32_t>(r.workflow.value)) << 20) ^
+           static_cast<size_t>(static_cast<std::uint32_t>(r.task.value));
+  }
+};
+}  // namespace std

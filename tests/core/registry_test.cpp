@@ -1,0 +1,73 @@
+#include "core/policy_registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dpjit::core {
+namespace {
+
+TEST(Registry, PaperAlgorithmsAllConstruct) {
+  for (const auto& name : paper_algorithms()) {
+    const auto algo = make_algorithm(name);
+    EXPECT_EQ(algo.name, name);
+    EXPECT_TRUE(algo.make_second != nullptr);
+    if (algo.full_ahead()) {
+      EXPECT_TRUE(algo.make_planner != nullptr);
+      EXPECT_TRUE(algo.make_first == nullptr);
+      EXPECT_NE(algo.make_planner()->name(), "");
+    } else {
+      EXPECT_TRUE(algo.make_first != nullptr);
+      EXPECT_NE(algo.make_first()->name(), "");
+    }
+    EXPECT_NE(algo.make_second()->name(), "");
+  }
+}
+
+TEST(Registry, EightPaperAlgorithms) {
+  EXPECT_EQ(paper_algorithms().size(), 8u);
+}
+
+TEST(Registry, FullAheadFlagCorrect) {
+  EXPECT_TRUE(make_algorithm("heft").full_ahead());
+  EXPECT_TRUE(make_algorithm("smf").full_ahead());
+  EXPECT_FALSE(make_algorithm("dsmf").full_ahead());
+  EXPECT_FALSE(make_algorithm("minmin").full_ahead());
+}
+
+TEST(Registry, PhasePairingsFollowSectionIVA) {
+  EXPECT_EQ(make_algorithm("dsmf").make_second()->name(), "dsmf");
+  EXPECT_EQ(make_algorithm("dheft").make_second()->name(), "lrpm");
+  EXPECT_EQ(make_algorithm("dsdf").make_second()->name(), "slack");
+  EXPECT_EQ(make_algorithm("minmin").make_second()->name(), "stf");
+  EXPECT_EQ(make_algorithm("maxmin").make_second()->name(), "ltf");
+  EXPECT_EQ(make_algorithm("sufferage").make_second()->name(), "lsf");
+  EXPECT_EQ(make_algorithm("heft").make_second()->name(), "fcfs");
+  EXPECT_EQ(make_algorithm("smf").make_second()->name(), "fcfs");
+}
+
+TEST(Registry, FcfsVariantsForSecondPhaseAblation) {
+  for (const char* name :
+       {"minmin-fcfs", "maxmin-fcfs", "sufferage-fcfs", "dheft-fcfs", "dsmf-fcfs"}) {
+    const auto algo = make_algorithm(name);
+    EXPECT_EQ(algo.make_second()->name(), "fcfs") << name;
+    EXPECT_FALSE(algo.full_ahead()) << name;
+  }
+}
+
+TEST(Registry, UnknownThrows) {
+  EXPECT_THROW(make_algorithm("quantum"), std::invalid_argument);
+}
+
+TEST(Registry, AllAlgorithmsIncludesVariants) {
+  const auto all = all_algorithms();
+  EXPECT_EQ(all.size(), 14u);
+  for (const auto& name : all) EXPECT_NO_THROW(make_algorithm(name));
+}
+
+TEST(Registry, LookaheadHeftExtensionRegistered) {
+  const auto algo = make_algorithm("heft-la");
+  EXPECT_TRUE(algo.full_ahead());
+  EXPECT_EQ(algo.make_planner()->name(), "heft-la");
+}
+
+}  // namespace
+}  // namespace dpjit::core

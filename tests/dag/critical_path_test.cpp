@@ -1,0 +1,109 @@
+#include "dag/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generator.hpp"
+
+namespace dpjit::dag {
+namespace {
+
+// Chain: a(10) -[20]-> b(30) -[40]-> c(50); avg capacity 1, bandwidth 1.
+TEST(CriticalPath, ChainSumsAllTerms) {
+  Workflow wf;
+  auto a = wf.add_task(10, 0);
+  auto b = wf.add_task(30, 0);
+  auto c = wf.add_task(50, 0);
+  wf.add_dependency(a, b, 20);
+  wf.add_dependency(b, c, 40);
+  const AverageEstimates avg{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(expected_finish_time(wf, avg), 150.0);
+  const auto ranks = upward_ranks(wf, avg);
+  EXPECT_DOUBLE_EQ(ranks[static_cast<std::size_t>(c.get())], 50.0);
+  EXPECT_DOUBLE_EQ(ranks[static_cast<std::size_t>(b.get())], 120.0);
+  EXPECT_DOUBLE_EQ(ranks[static_cast<std::size_t>(a.get())], 150.0);
+}
+
+TEST(CriticalPath, AveragesScaleTimes) {
+  Workflow wf;
+  auto a = wf.add_task(100, 0);
+  auto b = wf.add_task(100, 0);
+  wf.add_dependency(a, b, 50);
+  // capacity 4 MIPS -> 25 s each; bandwidth 5 Mb/s -> 10 s.
+  EXPECT_DOUBLE_EQ(expected_finish_time(wf, {4.0, 5.0}), 60.0);
+}
+
+TEST(CriticalPath, PicksHeavierBranch) {
+  Workflow wf;
+  auto a = wf.add_task(10, 0, "a");
+  auto heavy = wf.add_task(100, 0, "heavy");
+  auto light = wf.add_task(1, 0, "light");
+  auto d = wf.add_task(10, 0, "d");
+  wf.add_dependency(a, heavy, 1);
+  wf.add_dependency(a, light, 1);
+  wf.add_dependency(heavy, d, 1);
+  wf.add_dependency(light, d, 1);
+  const AverageEstimates avg{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(expected_finish_time(wf, avg), 10 + 1 + 100 + 1 + 10);
+  const auto path = critical_path(wf, avg);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], a);
+  EXPECT_EQ(path[1], heavy);
+  EXPECT_EQ(path[2], d);
+}
+
+TEST(CriticalPath, TransmissionCanDominate) {
+  Workflow wf;
+  auto a = wf.add_task(1, 0);
+  auto slow_edge = wf.add_task(1, 0);
+  auto fast_edge = wf.add_task(50, 0);
+  auto d = wf.add_task(1, 0);
+  wf.add_dependency(a, slow_edge, 1000);  // 1000 s of transfer
+  wf.add_dependency(a, fast_edge, 1);
+  wf.add_dependency(slow_edge, d, 1);
+  wf.add_dependency(fast_edge, d, 1);
+  const auto path = critical_path(wf, {1.0, 1.0});
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], slow_edge);
+}
+
+TEST(CriticalPath, UpwardRankMonotoneAlongEdges) {
+  // rank(pred) >= eet(pred) + rank(succ) > rank(succ) for positive loads.
+  util::Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    const auto wf = generate_workflow(WorkflowId{1}, GeneratorParams{}, rng);
+    const auto ranks = upward_ranks(wf, {6.2, 5.0});
+    for (std::size_t t = 0; t < wf.task_count(); ++t) {
+      const TaskIndex ti{static_cast<TaskIndex::underlying_type>(t)};
+      for (TaskIndex s : wf.successors(ti)) {
+        EXPECT_GE(ranks[t], ranks[static_cast<std::size_t>(s.get())]);
+      }
+    }
+  }
+}
+
+TEST(CriticalPath, EftEqualsCriticalPathSum) {
+  util::Rng rng(99);
+  const auto wf = generate_workflow(WorkflowId{1}, GeneratorParams{}, rng);
+  const AverageEstimates avg{6.2, 5.0};
+  const auto path = critical_path(wf, avg);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    sum += expected_execution_time(wf.task(path[i]), avg);
+    if (i + 1 < path.size()) {
+      sum += expected_transmission_time(wf.edge_data(path[i], path[i + 1]), avg);
+    }
+  }
+  EXPECT_NEAR(expected_finish_time(wf, avg), sum, 1e-9);
+}
+
+TEST(CriticalPath, ThrowsOnCycle) {
+  Workflow wf;
+  auto a = wf.add_task(1, 0);
+  auto b = wf.add_task(1, 0);
+  wf.add_dependency(a, b, 0);
+  wf.add_dependency(b, a, 0);
+  EXPECT_THROW(upward_ranks(wf, {1.0, 1.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dpjit::dag

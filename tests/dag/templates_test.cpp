@@ -1,0 +1,66 @@
+#include "dag/templates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dag/dot.hpp"
+
+namespace dpjit::dag {
+namespace {
+
+TEST(Templates, MontageIsWellFormed) {
+  const auto wf = make_montage(WorkflowId{1}, 6);
+  EXPECT_TRUE(wf.validate().empty());
+  // width projections + width-1 diffs + concat + bgmodel + width backgrounds
+  // + add + shrink + jpeg (+ possible virtual entry/exit).
+  EXPECT_GE(wf.task_count(), static_cast<std::size_t>(6 + 5 + 2 + 6 + 3));
+}
+
+TEST(Templates, MontageRejectsTinyWidth) {
+  EXPECT_THROW(make_montage(WorkflowId{1}, 1), std::invalid_argument);
+}
+
+TEST(Templates, ForkJoinShape) {
+  const auto wf = make_fork_join(WorkflowId{1}, 2, 4);
+  EXPECT_TRUE(wf.validate().empty());
+  // source + 2*(4 work + 1 join) = 11 tasks, single entry/exit already.
+  EXPECT_EQ(wf.task_count(), 11u);
+  EXPECT_EQ(wf.successors(wf.entry()).size(), 4u);
+}
+
+TEST(Templates, PipelineIsAChain) {
+  const auto wf = make_pipeline(WorkflowId{1}, 5);
+  EXPECT_TRUE(wf.validate().empty());
+  EXPECT_EQ(wf.task_count(), 5u);
+  EXPECT_EQ(wf.edge_count(), 4u);
+  for (std::size_t i = 0; i < wf.task_count(); ++i) {
+    EXPECT_LE(wf.successors(TaskIndex{static_cast<TaskIndex::underlying_type>(i)}).size(), 1u);
+  }
+}
+
+TEST(Templates, DiamondSkewsLeftBranch) {
+  const auto wf = make_diamond(WorkflowId{1}, 3.0);
+  EXPECT_TRUE(wf.validate().empty());
+  EXPECT_EQ(wf.task_count(), 4u);
+}
+
+TEST(Templates, InvalidParamsThrow) {
+  EXPECT_THROW(make_fork_join(WorkflowId{1}, 0, 1), std::invalid_argument);
+  EXPECT_THROW(make_pipeline(WorkflowId{1}, 0), std::invalid_argument);
+  EXPECT_THROW(make_diamond(WorkflowId{1}, 0.0), std::invalid_argument);
+}
+
+TEST(Dot, ExportContainsTasksAndEdges) {
+  const auto wf = make_pipeline(WorkflowId{7}, 3);
+  std::ostringstream os;
+  write_dot(os, wf);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("digraph wf7"), std::string::npos);
+  EXPECT_NE(out.find("stage0"), std::string::npos);
+  EXPECT_NE(out.find("->"), std::string::npos);
+  EXPECT_NE(out.find("}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpjit::dag

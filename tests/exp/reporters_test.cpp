@@ -1,0 +1,110 @@
+#include "exp/reporters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/sweep.hpp"
+
+namespace dpjit::exp {
+namespace {
+
+ExperimentResult fake(const std::string& algo, double act, double ae) {
+  ExperimentResult r;
+  r.algorithm = algo;
+  r.workflows_submitted = 10;
+  r.workflows_finished = 9;
+  r.act = act;
+  r.ae = ae;
+  r.mean_response = act + 100;
+  r.throughput = {{3600, 4}, {7200, 9}};
+  r.act_over_time = {{3600, act * 0.9}, {7200, act}};
+  r.ae_over_time = {{3600, ae * 1.1}, {7200, ae}};
+  return r;
+}
+
+TEST(Reporters, SummaryTableContainsAllAlgorithms) {
+  std::ostringstream os;
+  print_summary_table(os, {fake("dsmf", 1000, 0.5), fake("smf", 900, 0.6)});
+  const auto out = os.str();
+  EXPECT_NE(out.find("dsmf"), std::string::npos);
+  EXPECT_NE(out.find("smf"), std::string::npos);
+  EXPECT_NE(out.find("ACT(s)"), std::string::npos);
+  EXPECT_NE(out.find("1000"), std::string::npos);
+}
+
+TEST(Reporters, TimeSeriesSelectsRequestedCurve) {
+  std::ostringstream thr, act, ae;
+  const std::vector<ExperimentResult> results{fake("dsmf", 1000, 0.5)};
+  print_time_series(thr, results, "throughput");
+  print_time_series(act, results, "act");
+  print_time_series(ae, results, "ae");
+  EXPECT_NE(thr.str().find("4"), std::string::npos);
+  EXPECT_NE(act.str().find("900"), std::string::npos);
+  EXPECT_NE(ae.str().find("0.55"), std::string::npos);
+}
+
+TEST(Reporters, TimeSeriesUnknownCurveThrows) {
+  std::ostringstream os;
+  EXPECT_THROW(print_time_series(os, {fake("a", 1, 1)}, "nope"), std::invalid_argument);
+}
+
+TEST(Reporters, TimeSeriesCustomLabels) {
+  std::ostringstream os;
+  print_time_series(os, {fake("dsmf", 1, 1), fake("dsmf", 2, 2)}, "act", {"df=0.1", "df=0.2"});
+  EXPECT_NE(os.str().find("df=0.1"), std::string::npos);
+  EXPECT_NE(os.str().find("df=0.2"), std::string::npos);
+}
+
+TEST(Reporters, TimeSeriesEmptyResultsNoOutput) {
+  std::ostringstream os;
+  print_time_series(os, {}, "act");
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(Reporters, CsvEmitsHeaderAndRows) {
+  std::ostringstream os;
+  write_time_series_csv(os, {fake("dsmf", 1000, 0.5)}, "throughput");
+  const auto out = os.str();
+  EXPECT_EQ(out.substr(0, 10), "hour,dsmf\n");
+  EXPECT_NE(out.find("1,4"), std::string::npos);
+  EXPECT_NE(out.find("2,9"), std::string::npos);
+}
+
+TEST(Reporters, SweepTableAlignsSeries) {
+  std::ostringstream os;
+  print_sweep_table(os, "load_factor", {"1", "2"}, {"dsmf", "smf"},
+                    {{100.0, 200.0}, {90.0, 210.0}});
+  const auto out = os.str();
+  EXPECT_NE(out.find("load_factor"), std::string::npos);
+  EXPECT_NE(out.find("210"), std::string::npos);
+}
+
+TEST(Sweep, AcrossAlgorithmsCoversPaperSet) {
+  ExperimentConfig base;
+  base.nodes = 10;
+  const auto configs = across_algorithms(base);
+  EXPECT_EQ(configs.size(), 8u);
+  for (const auto& c : configs) EXPECT_EQ(c.nodes, 10);
+  EXPECT_EQ(configs.front().algorithm, "dheft");
+  EXPECT_EQ(configs.back().algorithm, "smf");
+}
+
+TEST(Sweep, RunSweepPreservesOrderAndDeterminism) {
+  ExperimentConfig a;
+  a.algorithm = "dsmf";
+  a.nodes = 12;
+  a.workflows_per_node = 1;
+  a.workflow.max_tasks = 6;
+  a.seed = 5;
+  ExperimentConfig b = a;
+  b.algorithm = "minmin";
+  const auto results = run_sweep({a, b, a});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].algorithm, "dsmf");
+  EXPECT_EQ(results[1].algorithm, "minmin");
+  EXPECT_DOUBLE_EQ(results[0].act, results[2].act);  // same config, same result
+}
+
+}  // namespace
+}  // namespace dpjit::exp

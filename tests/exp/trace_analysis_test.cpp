@@ -1,0 +1,102 @@
+#include "exp/trace_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/workload_factory.hpp"
+
+namespace dpjit::exp {
+namespace {
+
+TaskRef task(int wf, int t) { return TaskRef{WorkflowId{wf}, TaskIndex{t}}; }
+
+sim::Trace synthetic_trace() {
+  sim::Trace trace;
+  trace.enable(true);
+  // Node 1 runs two tasks (10 s and 30 s busy), node 2 runs one 60 s task.
+  trace.record(0.0, sim::TraceKind::kDispatch, NodeId{1}, task(0, 0));
+  trace.record(5.0, sim::TraceKind::kExecStart, NodeId{1}, task(0, 0));
+  trace.record(15.0, sim::TraceKind::kExecEnd, NodeId{1}, task(0, 0));
+  trace.record(10.0, sim::TraceKind::kDispatch, NodeId{1}, task(0, 1));
+  trace.record(20.0, sim::TraceKind::kExecStart, NodeId{1}, task(0, 1));
+  trace.record(50.0, sim::TraceKind::kExecEnd, NodeId{1}, task(0, 1));
+  trace.record(0.0, sim::TraceKind::kDispatch, NodeId{2}, task(1, 0));
+  trace.record(0.0, sim::TraceKind::kExecStart, NodeId{2}, task(1, 0));
+  trace.record(60.0, sim::TraceKind::kExecEnd, NodeId{2}, task(1, 0));
+  trace.record(60.0, sim::TraceKind::kWorkflowDone, NodeId{0}, task(1, 0));
+  return trace;
+}
+
+TEST(TraceAnalysis, NodeUsageAggregatesBusyTime) {
+  const auto trace = synthetic_trace();
+  const auto usage = node_usage(trace, 100.0);
+  ASSERT_EQ(usage.size(), 2u);
+  EXPECT_EQ(usage[0].node, NodeId{1});
+  EXPECT_EQ(usage[0].tasks_executed, 2u);
+  EXPECT_DOUBLE_EQ(usage[0].busy_s, 40.0);
+  EXPECT_DOUBLE_EQ(usage[0].utilization, 0.4);
+  EXPECT_EQ(usage[1].node, NodeId{2});
+  EXPECT_DOUBLE_EQ(usage[1].busy_s, 60.0);
+}
+
+TEST(TraceAnalysis, SummaryCountsAndWaits) {
+  const auto trace = synthetic_trace();
+  const auto s = summarize_trace(trace, 100.0);
+  EXPECT_EQ(s.tasks_dispatched, 3u);
+  EXPECT_EQ(s.tasks_executed, 3u);
+  EXPECT_EQ(s.workflows_finished, 1u);
+  EXPECT_EQ(s.active_nodes, 2u);
+  EXPECT_DOUBLE_EQ(s.max_utilization, 0.6);
+  EXPECT_DOUBLE_EQ(s.mean_utilization, 0.5);
+  // Waits: 5, 10, 0 -> mean 5.
+  EXPECT_DOUBLE_EQ(s.mean_queue_wait_s, 5.0);
+  // Fairness: (40+60)^2 / (2*(1600+3600)) = 10000/10400.
+  EXPECT_NEAR(s.busy_fairness, 10000.0 / 10400.0, 1e-12);
+}
+
+TEST(TraceAnalysis, EmptyTraceIsSafe) {
+  sim::Trace trace;
+  const auto s = summarize_trace(trace, 10.0);
+  EXPECT_EQ(s.active_nodes, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(s.busy_fairness, 1.0);
+}
+
+TEST(TraceAnalysis, HorizonMustBePositive) {
+  sim::Trace trace;
+  EXPECT_THROW(node_usage(trace, 0.0), std::invalid_argument);
+}
+
+TEST(TraceAnalysis, ReportPrintsTables) {
+  const auto trace = synthetic_trace();
+  std::ostringstream os;
+  print_trace_report(os, trace, 100.0, 5);
+  const auto out = os.str();
+  EXPECT_NE(out.find("busiest nodes"), std::string::npos);
+  EXPECT_NE(out.find("utilization"), std::string::npos);
+}
+
+TEST(TraceAnalysis, RealRunProducesConsistentNumbers) {
+  ExperimentConfig cfg;
+  cfg.algorithm = "dsmf";
+  cfg.nodes = 16;
+  cfg.workflows_per_node = 2;
+  cfg.workflow.max_tasks = 10;
+  cfg.workflow.min_data_mb = 10;
+  cfg.workflow.max_data_mb = 100;
+  cfg.seed = 19;
+  World world(cfg);
+  world.system().trace().enable(true);
+  world.run();
+  const auto s = summarize_trace(world.system().trace(), cfg.system.horizon_s);
+  EXPECT_EQ(s.tasks_dispatched, world.system().tasks_dispatched());
+  EXPECT_EQ(s.workflows_finished, world.system().finished_workflows());
+  EXPECT_GT(s.mean_utilization, 0.0);
+  EXPECT_LE(s.max_utilization, 1.0);
+  EXPECT_GT(s.busy_fairness, 0.0);
+  EXPECT_LE(s.busy_fairness, 1.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace dpjit::exp

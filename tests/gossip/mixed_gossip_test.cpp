@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "gossip/mixed_gossip.hpp"
+
+namespace dpjit::gossip {
+namespace {
+
+/// A harness with n synthetic nodes: capacity i+1 MIPS, load 10*i, all alive,
+/// zero message latency, local bandwidth 2*(i+1).
+class GossipHarness {
+ public:
+  explicit GossipHarness(int n, GossipParams params = {}) : n_(n), alive_(n, true) {
+    service_ = std::make_unique<MixedGossipService>(
+        engine_, params, n,
+        [this](NodeId id, double& load, double& cap) {
+          load = 10.0 * id.get();
+          cap = 1.0 + id.get();
+        },
+        [this](NodeId id) { return alive_[static_cast<std::size_t>(id.get())]; },
+        [](NodeId, NodeId) { return 0.001; },
+        [](NodeId id) { return 2.0 * (1.0 + id.get()); }, util::Rng(42));
+    // Bootstrap: every node knows its ring successor.
+    for (int i = 0; i < n; ++i) {
+      service_->node_joined(NodeId{i}, {NodeId{(i + 1) % n}});
+    }
+  }
+
+  void run_cycles(int cycles) {
+    for (int c = 0; c < cycles; ++c) {
+      service_->run_cycle(static_cast<std::uint64_t>(c));
+      engine_.run_until(engine_.now() + 1.0);  // flush in-flight messages
+    }
+  }
+
+  sim::Engine engine_;
+  int n_;
+  std::vector<bool> alive_;
+  std::unique_ptr<MixedGossipService> service_;
+};
+
+TEST(MixedGossip, ViewsPopulateWithinFewCycles) {
+  GossipHarness h(64);
+  h.run_cycles(6);
+  // After TTL*log(n) style spreading, every node should know a healthy number
+  // of peers (bounded by the cache size).
+  const double mean = h.service_->mean_rss_size();
+  EXPECT_GT(mean, 4.0);
+  EXPECT_LE(mean, h.service_->effective_cache_size());
+}
+
+TEST(MixedGossip, RssBoundedByCacheSize) {
+  GossipHarness h(128);
+  h.run_cycles(10);
+  for (int i = 0; i < h.n_; ++i) {
+    EXPECT_LE(h.service_->rss(NodeId{i}).size(),
+              static_cast<std::size_t>(h.service_->effective_cache_size()));
+  }
+}
+
+TEST(MixedGossip, CacheSizeScalesLogarithmically) {
+  sim::Engine engine;
+  GossipParams params;
+  auto make = [&](int n) {
+    return MixedGossipService(engine, params, n, [](NodeId, double&, double&) {},
+                              [](NodeId) { return true; }, [](NodeId, NodeId) { return 0.0; },
+                              [](NodeId) { return 1.0; }, util::Rng(1));
+  };
+  const int c100 = make(100).effective_cache_size();
+  const int c2000 = make(2000).effective_cache_size();
+  EXPECT_GE(c100, 8);
+  EXPECT_LE(c100, 30);
+  EXPECT_GE(c2000, c100);  // grows with n...
+  EXPECT_LE(c2000, 30);    // ...but stays bounded (Fig. 11a)
+}
+
+TEST(MixedGossip, AggregationConvergesToTrueMeans) {
+  const int n = 64;
+  GossipParams params;
+  params.aggregation_epoch_cycles = 10;
+  GossipHarness h(n, params);
+  h.run_cycles(25);  // two full epochs
+  // True mean capacity: mean(1..n) = (n+1)/2; bandwidth double that.
+  const double true_cap = (n + 1) / 2.0;
+  int close = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto avg = h.service_->averages(NodeId{i});
+    if (std::abs(avg.capacity_mips - true_cap) / true_cap < 0.25) ++close;
+  }
+  // Push-pull averaging converges exponentially; most nodes should be close.
+  EXPECT_GT(close, n * 3 / 4);
+}
+
+TEST(MixedGossip, FreshStateOverwritesStale) {
+  GossipHarness h(16);
+  h.run_cycles(8);
+  // All views carry entries stamped within the staleness bound.
+  for (int i = 0; i < h.n_; ++i) {
+    for (const auto& e : h.service_->rss(NodeId{i}).entries()) {
+      EXPECT_GE(e.stamped_at, 0.0);
+      EXPECT_LE(e.stamped_at, h.engine_.now());
+    }
+  }
+}
+
+TEST(MixedGossip, DeadNodesFadeFromViews) {
+  GossipParams params;
+  params.staleness_bound_s = 2.0;  // with 1s "cycles" in the harness
+  params.cycle_s = 1.0;
+  GossipHarness h(32, params);
+  h.run_cycles(6);
+  // Kill node 5, keep gossiping; its entries must disappear.
+  h.alive_[5] = false;
+  h.service_->node_left(NodeId{5});
+  h.run_cycles(6);
+  for (int i = 0; i < h.n_; ++i) {
+    if (i == 5) continue;
+    EXPECT_FALSE(h.service_->rss(NodeId{i}).contains(NodeId{5}))
+        << "node " << i << " still believes in dead node 5";
+  }
+}
+
+TEST(MixedGossip, JoinedNodeIntegrates) {
+  GossipHarness h(32);
+  h.alive_[7] = false;
+  h.service_->node_left(NodeId{7});
+  h.run_cycles(4);
+  h.alive_[7] = true;
+  h.service_->node_joined(NodeId{7}, {NodeId{0}, NodeId{1}});
+  h.run_cycles(6);
+  EXPECT_GT(h.service_->rss(NodeId{7}).size(), 2u);
+}
+
+TEST(MixedGossip, MessageCounterAdvances) {
+  GossipHarness h(16);
+  const auto before = h.service_->messages_sent();
+  h.run_cycles(2);
+  EXPECT_GT(h.service_->messages_sent(), before);
+}
+
+TEST(MixedGossip, MeanIdleKnownCountsZeroLoad) {
+  // Node 0 has load 0 (10*0); others positive.
+  GossipHarness h(16);
+  h.run_cycles(6);
+  EXPECT_GE(h.service_->mean_idle_known(), 0.0);
+  EXPECT_LE(h.service_->mean_idle_known(), h.service_->mean_rss_size());
+}
+
+TEST(MixedGossip, EpochBoundaryPublishesConvergedValue) {
+  GossipParams params;
+  params.aggregation_epoch_cycles = 5;
+  GossipHarness h(32, params);
+  // Before the first epoch completes, nodes publish their local observation.
+  const auto before = h.service_->averages(NodeId{0});
+  EXPECT_DOUBLE_EQ(before.capacity_mips, 1.0);  // node 0's own capacity
+  h.run_cycles(6);  // crosses the epoch boundary at cycle 5
+  const auto after = h.service_->averages(NodeId{0});
+  // The published value moved toward the true mean ((n+1)/2 = 16.5).
+  EXPECT_GT(after.capacity_mips, before.capacity_mips);
+}
+
+TEST(MixedGossip, BytesAccountingGrowsWithMessages) {
+  GossipHarness h(16);
+  EXPECT_EQ(h.service_->bytes_sent(), 0u);
+  h.run_cycles(3);
+  EXPECT_GT(h.service_->bytes_sent(), 0u);
+  // Every message costs at least the 20-byte header.
+  EXPECT_GE(h.service_->bytes_sent(), h.service_->messages_sent() * 20);
+}
+
+TEST(MixedGossip, NoSelfEntries) {
+  GossipHarness h(24);
+  h.run_cycles(6);
+  for (int i = 0; i < h.n_; ++i) {
+    EXPECT_FALSE(h.service_->rss(NodeId{i}).contains(NodeId{i}));
+  }
+}
+
+}  // namespace
+}  // namespace dpjit::gossip

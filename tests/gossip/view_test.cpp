@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "gossip/view.hpp"
+
+namespace dpjit::gossip {
+namespace {
+
+ResourceEntry entry(int node, double load, SimTime at, int ttl = 4) {
+  return ResourceEntry{NodeId{node}, load, 2.0, at, ttl};
+}
+
+TEST(ResourceView, MergeInsertsNewEntries) {
+  ResourceView v(4);
+  EXPECT_TRUE(v.merge(entry(1, 10, 1.0)));
+  EXPECT_TRUE(v.merge(entry(2, 20, 1.0)));
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_TRUE(v.contains(NodeId{1}));
+}
+
+TEST(ResourceView, FresherEntryReplacesStale) {
+  ResourceView v(4);
+  v.merge(entry(1, 10, 1.0));
+  EXPECT_TRUE(v.merge(entry(1, 99, 2.0)));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v.entries()[0].load_mi, 99.0);
+}
+
+TEST(ResourceView, StaleEntryIgnored) {
+  ResourceView v(4);
+  v.merge(entry(1, 10, 5.0));
+  EXPECT_FALSE(v.merge(entry(1, 99, 2.0)));
+  EXPECT_DOUBLE_EQ(v.entries()[0].load_mi, 10.0);
+}
+
+TEST(ResourceView, EqualTimestampKeepsHigherTtl) {
+  ResourceView v(4);
+  v.merge(entry(1, 10, 1.0, 1));
+  EXPECT_FALSE(v.merge(entry(1, 10, 1.0, 3)));
+  EXPECT_EQ(v.entries()[0].ttl, 3);
+}
+
+TEST(ResourceView, CapacityEvictsStalest) {
+  ResourceView v(2);
+  v.merge(entry(1, 0, 1.0));
+  v.merge(entry(2, 0, 5.0));
+  EXPECT_TRUE(v.merge(entry(3, 0, 3.0)));  // evicts node 1 (stamped 1.0)
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_FALSE(v.contains(NodeId{1}));
+  EXPECT_TRUE(v.contains(NodeId{3}));
+}
+
+TEST(ResourceView, FullViewRejectsStalerThanAll) {
+  ResourceView v(2);
+  v.merge(entry(1, 0, 5.0));
+  v.merge(entry(2, 0, 6.0));
+  EXPECT_FALSE(v.merge(entry(3, 0, 1.0)));
+  EXPECT_FALSE(v.contains(NodeId{3}));
+}
+
+TEST(ResourceView, ExpireDropsOldAndSelf) {
+  ResourceView v(8);
+  v.merge(entry(1, 0, 1.0));
+  v.merge(entry(2, 0, 9.0));
+  v.merge(entry(3, 0, 9.5));
+  v.expire(/*now=*/10.0, /*max_age=*/2.0, /*self=*/NodeId{3});
+  EXPECT_FALSE(v.contains(NodeId{1}));  // age 9 > 2
+  EXPECT_TRUE(v.contains(NodeId{2}));
+  EXPECT_FALSE(v.contains(NodeId{3}));  // self
+}
+
+TEST(ResourceView, ForgetRemovesEntry) {
+  ResourceView v(4);
+  v.merge(entry(1, 0, 1.0));
+  EXPECT_TRUE(v.forget(NodeId{1}));
+  EXPECT_FALSE(v.forget(NodeId{1}));
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(ResourceView, AdjustLoadClampsAtZero) {
+  ResourceView v(4);
+  v.merge(entry(1, 10, 1.0));
+  EXPECT_TRUE(v.adjust_load(NodeId{1}, 5.0));
+  EXPECT_DOUBLE_EQ(v.entries()[0].load_mi, 15.0);
+  EXPECT_TRUE(v.adjust_load(NodeId{1}, -100.0));
+  EXPECT_DOUBLE_EQ(v.entries()[0].load_mi, 0.0);
+  EXPECT_FALSE(v.adjust_load(NodeId{9}, 1.0));
+}
+
+}  // namespace
+}  // namespace dpjit::gossip

@@ -1,0 +1,147 @@
+#include "grid/transfer_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dpjit::grid {
+namespace {
+
+// 0 --(bw 10, lat 1)-- 1 --(bw 10, lat 1)-- 2 ; both flows via the middle.
+struct Fixture {
+  Fixture() : topo(net::Topology::from_links(3, {{NodeId{0}, NodeId{1}, 10.0, 1.0},
+                                                 {NodeId{1}, NodeId{2}, 10.0, 1.0}})),
+              routing(topo) {}
+  sim::Engine engine;
+  net::Topology topo;
+  net::Routing routing;
+};
+
+TEST(TransferBottleneck, DeliversAtLatencyPlusSizeOverBw) {
+  Fixture f;
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kBottleneck);
+  double done_at = -1;
+  tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool ok) {
+    EXPECT_TRUE(ok);
+    done_at = f.engine.now();
+  });
+  f.engine.run_all();
+  // latency 2 s + 100 Mb / 10 Mb/s = 12 s.
+  EXPECT_DOUBLE_EQ(done_at, 12.0);
+  EXPECT_EQ(tm.completed_count(), 1u);
+  EXPECT_DOUBLE_EQ(tm.total_delivered_mb(), 100.0);
+}
+
+TEST(TransferBottleneck, LoopbackIsImmediate) {
+  Fixture f;
+  TransferManager tm(f.engine, f.topo, f.routing);
+  double done_at = -1;
+  tm.start(NodeId{1}, NodeId{1}, 5000.0, [&](bool ok) {
+    EXPECT_TRUE(ok);
+    done_at = f.engine.now();
+  });
+  f.engine.run_all();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+}
+
+TEST(TransferBottleneck, NoContentionBetweenTransfers) {
+  Fixture f;
+  TransferManager tm(f.engine, f.topo, f.routing);
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool) { done.push_back(f.engine.now()); });
+  }
+  f.engine.run_all();
+  ASSERT_EQ(done.size(), 3u);
+  for (double t : done) EXPECT_DOUBLE_EQ(t, 12.0);  // all at full bandwidth
+}
+
+TEST(TransferBottleneck, AbortFiresFailureCallback) {
+  Fixture f;
+  TransferManager tm(f.engine, f.topo, f.routing);
+  bool ok = true;
+  const auto id = tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool success) { ok = success; });
+  EXPECT_TRUE(tm.abort(id));
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(tm.abort(id));
+  f.engine.run_all();
+  EXPECT_EQ(tm.completed_count(), 0u);
+}
+
+TEST(TransferBottleneck, NodeLeftAbortsTouchingTransfers) {
+  Fixture f;
+  TransferManager tm(f.engine, f.topo, f.routing);
+  int failures = 0;
+  tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool ok2) { failures += ok2 ? 0 : 1; });
+  tm.start(NodeId{2}, NodeId{0}, 100.0, [&](bool ok2) { failures += ok2 ? 0 : 1; });
+  tm.start(NodeId{0}, NodeId{1}, 100.0, [&](bool ok2) { failures += ok2 ? 0 : 1; });
+  tm.node_left(NodeId{2});
+  EXPECT_EQ(failures, 2);
+  f.engine.run_all();
+  EXPECT_EQ(tm.completed_count(), 1u);  // the 0->1 transfer survives
+}
+
+TEST(TransferBottleneck, ZeroSizeCostsLatencyOnly) {
+  Fixture f;
+  TransferManager tm(f.engine, f.topo, f.routing);
+  double done_at = -1;
+  tm.start(NodeId{0}, NodeId{1}, 0.0, [&](bool) { done_at = f.engine.now(); });
+  f.engine.run_all();
+  EXPECT_DOUBLE_EQ(done_at, 1.0);
+}
+
+TEST(TransferFair, SingleFlowMatchesBottleneckModel) {
+  Fixture f;
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);
+  double done_at = -1;
+  tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool ok) {
+    EXPECT_TRUE(ok);
+    done_at = f.engine.now();
+  });
+  f.engine.run_all();
+  EXPECT_NEAR(done_at, 12.0, 1e-6);
+}
+
+TEST(TransferFair, TwoFlowsShareTheLink) {
+  Fixture f;
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);
+  std::vector<double> done;
+  tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool) { done.push_back(f.engine.now()); });
+  tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool) { done.push_back(f.engine.now()); });
+  f.engine.run_all();
+  ASSERT_EQ(done.size(), 2u);
+  // Each flow gets 5 Mb/s while both are active -> both finish ~ lat + 20 s.
+  EXPECT_NEAR(done[0], 22.0, 0.5);
+  EXPECT_NEAR(done[1], 22.0, 0.5);
+}
+
+TEST(TransferFair, ShortFlowReleasesBandwidth) {
+  Fixture f;
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);
+  std::vector<std::pair<int, double>> done;
+  tm.start(NodeId{0}, NodeId{2}, 20.0, [&](bool) { done.emplace_back(0, f.engine.now()); });
+  tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool) { done.emplace_back(1, f.engine.now()); });
+  f.engine.run_all();
+  ASSERT_EQ(done.size(), 2u);
+  // Short flow: shares 5 Mb/s for 20/5 = 4 s -> done at lat 2 + 4 = 6 s.
+  EXPECT_EQ(done[0].first, 0);
+  EXPECT_NEAR(done[0].second, 6.0, 0.5);
+  // Long flow: 20 Mb at 5 Mb/s (4s) + remaining 80 Mb at 10 Mb/s (8s) -> ~14 s.
+  EXPECT_EQ(done[1].first, 1);
+  EXPECT_NEAR(done[1].second, 14.0, 0.5);
+}
+
+TEST(TransferFair, AbortRestoresBandwidth) {
+  Fixture f;
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);
+  double done_at = -1;
+  const auto doomed =
+      tm.start(NodeId{0}, NodeId{2}, 1000.0, [&](bool ok) { EXPECT_FALSE(ok); });
+  tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool) { done_at = f.engine.now(); });
+  // Let both flows run shared for 4 s (after 2 s latency), then kill one.
+  f.engine.schedule_at(6.0, [&] { tm.abort(doomed); });
+  f.engine.run_all();
+  // Survivor: 4 s at 5 Mb/s (20 Mb) + 80 Mb at 10 Mb/s (8 s) -> ~14 s.
+  EXPECT_NEAR(done_at, 14.0, 0.5);
+}
+
+}  // namespace
+}  // namespace dpjit::grid

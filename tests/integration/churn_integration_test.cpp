@@ -1,0 +1,92 @@
+// Dynamic-environment behaviour (paper Section IV.B) and the rescheduling
+// extension (paper future work).
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+
+namespace dpjit::exp {
+namespace {
+
+ExperimentConfig churn_config(double df, bool reschedule, std::uint64_t seed = 13) {
+  ExperimentConfig cfg;
+  cfg.algorithm = "dsmf";
+  cfg.nodes = 40;
+  cfg.workflows_per_node = 2;
+  cfg.seed = seed;
+  cfg.dynamic_factor = df;
+  cfg.reschedule = reschedule;
+  cfg.workflow.max_tasks = 12;
+  cfg.workflow.min_data_mb = 10;
+  cfg.workflow.max_data_mb = 100;
+  return cfg;
+}
+
+TEST(ChurnIntegration, TasksFailUnderChurn) {
+  const auto result = run_experiment(churn_config(0.3, false));
+  EXPECT_GT(result.tasks_failed, 0u);
+  EXPECT_EQ(result.tasks_rescheduled, 0u);
+}
+
+TEST(ChurnIntegration, ThroughputDegradesWithDynamicFactor) {
+  const auto df0 = run_experiment(churn_config(0.0, false));
+  const auto df3 = run_experiment(churn_config(0.3, false));
+  EXPECT_EQ(df0.workflows_finished, df0.workflows_submitted);
+  EXPECT_LT(df3.workflows_finished, df3.workflows_submitted)
+      << "without rescheduling, churn must strand some workflows";
+}
+
+TEST(ChurnIntegration, FinishedWorkflowsKeepSaneMetricsUnderChurn) {
+  // Paper: "each successfully finished workflow keeps relatively stable
+  // finish-time and efficiency when df <= 0.2".
+  const auto result = run_experiment(churn_config(0.2, false));
+  if (result.workflows_finished > 0) {
+    EXPECT_GT(result.act, 0.0);
+    EXPECT_GT(result.ae, 0.0);
+    EXPECT_LE(result.ae, 5.0);
+  }
+}
+
+TEST(ChurnIntegration, ReschedulingRecoversThroughput) {
+  const auto without = run_experiment(churn_config(0.3, false));
+  const auto with = run_experiment(churn_config(0.3, true));
+  EXPECT_GE(with.workflows_finished, without.workflows_finished);
+  EXPECT_GT(with.tasks_rescheduled, 0u);
+}
+
+TEST(ChurnIntegration, ReschedulingIsNoOpWithoutChurn) {
+  const auto result = run_experiment(churn_config(0.0, true));
+  EXPECT_EQ(result.tasks_rescheduled, 0u);
+  EXPECT_EQ(result.workflows_finished, result.workflows_submitted);
+}
+
+TEST(ChurnIntegration, HomesMustBeStable) {
+  ExperimentConfig cfg = churn_config(0.2, false);
+  World world(cfg);
+  // Home ids >= stable_count are dynamic: submission must be rejected.
+  const int dynamic_home = world.system().config().churn.stable_count;
+  dag::Workflow wf;
+  wf.add_task(100, 10);
+  EXPECT_THROW(world.system().submit(NodeId{dynamic_home}, std::move(wf)),
+               std::invalid_argument);
+}
+
+TEST(ChurnIntegration, AliveCountStaysWithinBounds) {
+  ExperimentConfig cfg = churn_config(0.2, false);
+  World world(cfg);
+  world.run();
+  const auto alive = world.system().alive_count();
+  EXPECT_GE(alive, static_cast<std::size_t>(cfg.nodes) / 2);  // stable half
+  EXPECT_LE(alive, static_cast<std::size_t>(cfg.nodes));
+}
+
+TEST(ChurnIntegration, DeterministicUnderChurn) {
+  const auto a = run_experiment(churn_config(0.25, true, 77));
+  const auto b = run_experiment(churn_config(0.25, true, 77));
+  EXPECT_EQ(a.workflows_finished, b.workflows_finished);
+  EXPECT_EQ(a.tasks_failed, b.tasks_failed);
+  EXPECT_EQ(a.tasks_rescheduled, b.tasks_rescheduled);
+  EXPECT_DOUBLE_EQ(a.act, b.act);
+}
+
+}  // namespace
+}  // namespace dpjit::exp

@@ -1,0 +1,101 @@
+#include "exp/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dpjit::exp {
+namespace {
+
+core::WorkflowReport report(int id, double submit, double entry_start, double finish,
+                            double eft) {
+  core::WorkflowReport r;
+  r.id = WorkflowId{id};
+  r.home = NodeId{0};
+  r.submit_time = submit;
+  r.entry_start_time = entry_start;
+  r.finish_time = finish;
+  r.eft = eft;
+  return r;
+}
+
+TEST(WorkflowReport, DerivedQuantities) {
+  const auto r = report(1, 0.0, 100.0, 600.0, 250.0);
+  EXPECT_DOUBLE_EQ(r.completion_time(), 500.0);
+  EXPECT_DOUBLE_EQ(r.response_time(), 600.0);
+  EXPECT_DOUBLE_EQ(r.efficiency(), 0.5);
+}
+
+TEST(MetricsCollector, ActAndAeAverages) {
+  MetricsCollector m(36000.0);
+  m.on_workflow_finished(report(1, 0, 0, 1000, 500));   // ct 1000, e 0.5
+  m.on_workflow_finished(report(2, 0, 0, 3000, 3000));  // ct 3000, e 1.0
+  EXPECT_EQ(m.finished(), 2u);
+  EXPECT_DOUBLE_EQ(m.act(), 2000.0);
+  EXPECT_DOUBLE_EQ(m.ae(), 0.75);
+  EXPECT_DOUBLE_EQ(m.mean_response(), 2000.0);
+}
+
+TEST(MetricsCollector, EmptyIsZero) {
+  MetricsCollector m(1000.0);
+  EXPECT_DOUBLE_EQ(m.act(), 0.0);
+  EXPECT_DOUBLE_EQ(m.ae(), 0.0);
+}
+
+TEST(MetricsCollector, ThroughputCurveCumulative) {
+  MetricsCollector m(10 * 3600.0);
+  m.on_workflow_finished(report(1, 0, 0, 1 * 3600.0 + 10, 1));
+  m.on_workflow_finished(report(2, 0, 0, 1 * 3600.0 + 20, 1));
+  m.on_workflow_finished(report(3, 0, 0, 5 * 3600.0, 1));
+  const auto curve = m.throughput_curve();
+  ASSERT_GE(curve.size(), 6u);
+  EXPECT_DOUBLE_EQ(curve[0].value, 0.0);  // first hour: nothing yet
+  EXPECT_DOUBLE_EQ(curve[1].value, 2.0);  // by hour 2
+  EXPECT_DOUBLE_EQ(curve[5].value, 3.0);  // by hour 6
+  EXPECT_DOUBLE_EQ(curve.back().value, 3.0);
+}
+
+TEST(MetricsCollector, ActCurveIsCumulativeMean) {
+  MetricsCollector m(10 * 3600.0);
+  m.on_workflow_finished(report(1, 0, 0, 1800.0, 1));            // ct 1800, bucket 0
+  m.on_workflow_finished(report(2, 0, 0, 4 * 3600.0 + 200, 1));  // bucket 4
+  const auto curve = m.act_curve();
+  EXPECT_DOUBLE_EQ(curve[0].value, 1800.0);
+  EXPECT_DOUBLE_EQ(curve[2].value, 1800.0);  // nothing new: mean unchanged
+  EXPECT_DOUBLE_EQ(curve[4].value, (1800.0 + 4 * 3600.0 + 200) / 2.0);
+}
+
+TEST(MetricsCollector, AeCurveTracksEfficiency) {
+  MetricsCollector m(2 * 3600.0);
+  m.on_workflow_finished(report(1, 0, 0, 1000, 500));
+  const auto curve = m.ae_curve();
+  EXPECT_DOUBLE_EQ(curve[0].value, 0.5);
+}
+
+TEST(MetricsCollector, CycleSamplesAccumulate) {
+  MetricsCollector m(1000.0);
+  core::CycleSample s;
+  s.time = 1.0;
+  s.mean_rss_size = 10.0;
+  s.mean_idle_known = 4.0;
+  m.on_cycle(s);
+  s.time = 2.0;
+  s.mean_rss_size = 20.0;
+  s.mean_idle_known = 8.0;
+  m.on_cycle(s);
+  EXPECT_EQ(m.samples().size(), 2u);
+  // Converged stats use the last quarter of samples (here: the last one).
+  EXPECT_DOUBLE_EQ(m.converged_rss_size(), 20.0);
+  EXPECT_DOUBLE_EQ(m.converged_idle_known(), 8.0);
+}
+
+TEST(MetricsCollector, ValidatesConstruction) {
+  EXPECT_THROW(MetricsCollector(0.0), std::invalid_argument);
+  EXPECT_THROW(MetricsCollector(10.0, 0.0), std::invalid_argument);
+}
+
+TEST(MetricsCollector, EfficiencyGuardsZeroCompletion) {
+  const auto r = report(1, 0, 100, 100, 50);  // ct == 0
+  EXPECT_DOUBLE_EQ(r.efficiency(), 0.0);
+}
+
+}  // namespace
+}  // namespace dpjit::exp

@@ -1,0 +1,75 @@
+#include "net/flow_sharing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dpjit::net {
+namespace {
+
+TEST(MaxMinFair, SingleFlowGetsFullLink) {
+  const auto rates = max_min_fair_rates({{{LinkId{0}}}}, {10.0});
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);
+}
+
+TEST(MaxMinFair, TwoFlowsShareEqually) {
+  const auto rates = max_min_fair_rates({{{LinkId{0}}}, {{LinkId{0}}}}, {10.0});
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+}
+
+TEST(MaxMinFair, ClassicThreeFlowExample) {
+  // Links: A (cap 10) and B (cap 4). Flow0 uses A only, flow1 uses A+B,
+  // flow2 uses B only. Max-min: B gives 2 each to flows 1,2; flow0 gets the
+  // remaining 8 on A.
+  const auto rates = max_min_fair_rates(
+      {{{LinkId{0}}}, {{LinkId{0}, LinkId{1}}}, {{LinkId{1}}}}, {10.0, 4.0});
+  EXPECT_DOUBLE_EQ(rates[1], 2.0);
+  EXPECT_DOUBLE_EQ(rates[2], 2.0);
+  EXPECT_DOUBLE_EQ(rates[0], 8.0);
+}
+
+TEST(MaxMinFair, LoopbackFlowsUnlimited) {
+  const auto rates = max_min_fair_rates({{{}}, {{LinkId{0}}}}, {6.0});
+  EXPECT_TRUE(std::isinf(rates[0]));
+  EXPECT_DOUBLE_EQ(rates[1], 6.0);
+}
+
+TEST(MaxMinFair, NoFlows) {
+  EXPECT_TRUE(max_min_fair_rates({}, {1.0}).empty());
+}
+
+TEST(MaxMinFair, CapacityConservationProperty) {
+  // Random-ish scenario: total allocated on each link must not exceed its
+  // capacity, and every flow gets a positive rate.
+  std::vector<FlowPath> flows{
+      {{LinkId{0}, LinkId{1}}}, {{LinkId{1}, LinkId{2}}}, {{LinkId{0}, LinkId{2}}},
+      {{LinkId{1}}},            {{LinkId{2}}},
+  };
+  const std::vector<double> caps{3.0, 5.0, 2.0};
+  const auto rates = max_min_fair_rates(flows, caps);
+  std::vector<double> used(caps.size(), 0.0);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_GT(rates[f], 0.0);
+    for (LinkId l : flows[f].links) used[static_cast<std::size_t>(l.get())] += rates[f];
+  }
+  for (std::size_t l = 0; l < caps.size(); ++l) {
+    EXPECT_LE(used[l], caps[l] + 1e-9);
+  }
+}
+
+TEST(MaxMinFair, BottleneckedFlowCannotBeRaised) {
+  // Max-min optimality spot check: raising any flow's rate requires lowering
+  // a flow with an equal-or-smaller rate on some shared saturated link.
+  std::vector<FlowPath> flows{{{LinkId{0}}}, {{LinkId{0}, LinkId{1}}}, {{LinkId{1}}}};
+  const std::vector<double> caps{2.0, 8.0};
+  const auto rates = max_min_fair_rates(flows, caps);
+  // Link 0 saturates at 1 each for flows 0,1; flow 2 then gets 7 on link 1.
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+  EXPECT_DOUBLE_EQ(rates[1], 1.0);
+  EXPECT_DOUBLE_EQ(rates[2], 7.0);
+}
+
+}  // namespace
+}  // namespace dpjit::net

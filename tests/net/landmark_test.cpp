@@ -1,0 +1,90 @@
+#include "net/landmark.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dpjit::net {
+namespace {
+
+Topology line4() {
+  // 0 --10-- 1 --1-- 2 --8-- 3 (bandwidths; unit latencies)
+  return Topology::from_links(4, {{NodeId{0}, NodeId{1}, 10.0, 1.0},
+                                  {NodeId{1}, NodeId{2}, 1.0, 1.0},
+                                  {NodeId{2}, NodeId{3}, 8.0, 1.0}});
+}
+
+TEST(Landmark, VectorsHaveOneEntryPerLandmark) {
+  const auto topo = line4();
+  Routing r(topo);
+  util::Rng rng(1);
+  LandmarkEstimator est(r, 2, rng);
+  EXPECT_EQ(est.landmarks().size(), 2u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(est.vector_of(NodeId{i}).size(), 2u);
+}
+
+TEST(Landmark, CountClampedToNodeCount) {
+  const auto topo = line4();
+  Routing r(topo);
+  util::Rng rng(1);
+  LandmarkEstimator est(r, 100, rng);
+  EXPECT_EQ(est.landmarks().size(), 4u);
+}
+
+TEST(Landmark, RejectsZeroLandmarks) {
+  const auto topo = line4();
+  Routing r(topo);
+  util::Rng rng(1);
+  EXPECT_THROW(LandmarkEstimator(r, 0, rng), std::invalid_argument);
+}
+
+TEST(Landmark, EstimateNeverExceedsRelayBottleneck) {
+  const auto topo = line4();
+  Routing r(topo);
+  util::Rng rng(2);
+  LandmarkEstimator est(r, 4, rng);  // all nodes are landmarks
+  // With all nodes as landmarks, estimate(u,v) >= true bottleneck via the
+  // best relay, and for u,v adjacent to the same landmark it is exact enough;
+  // here 0->3 true bottleneck is 1.0 (the middle link).
+  const double e = est.estimate_mbps(NodeId{0}, NodeId{3});
+  EXPECT_GE(e, 1.0);
+  EXPECT_LE(e, 10.0);
+}
+
+TEST(Landmark, SelfEstimateIsInfinite) {
+  const auto topo = line4();
+  Routing r(topo);
+  util::Rng rng(2);
+  LandmarkEstimator est(r, 2, rng);
+  EXPECT_TRUE(std::isinf(est.estimate_mbps(NodeId{1}, NodeId{1})));
+}
+
+TEST(Landmark, FallbackWhenDisconnected) {
+  const auto topo = Topology::from_links(3, {{NodeId{0}, NodeId{1}, 5.0, 1.0}});
+  Routing r(topo);
+  util::Rng rng(3);
+  LandmarkEstimator est(r, 1, rng);
+  // Node 2 is unreachable: any estimate involving it should fall back.
+  const double e = est.estimate_mbps(NodeId{0}, NodeId{2}, 1.25);
+  EXPECT_TRUE(e == 1.25 || e > 0.0);
+}
+
+TEST(Landmark, LocalMeanReflectsAttachment) {
+  const auto topo = line4();
+  Routing r(topo);
+  util::Rng rng(4);
+  LandmarkEstimator est(r, 4, rng);
+  // Node 1's route bandwidths: to 0 = 10, to 2 = 1, to 3 = 1 -> mean 4.
+  EXPECT_NEAR(est.local_mean_mbps(NodeId{1}), 4.0, 1e-9);
+}
+
+TEST(Landmark, DeterministicSelection) {
+  const auto topo = line4();
+  Routing r(topo);
+  util::Rng r1(5), r2(5);
+  LandmarkEstimator a(r, 2, r1), b(r, 2, r2);
+  EXPECT_EQ(a.landmarks(), b.landmarks());
+}
+
+}  // namespace
+}  // namespace dpjit::net

@@ -1,0 +1,117 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dpjit::sim {
+namespace {
+
+TEST(Engine, NowAdvancesWithEvents) {
+  Engine e;
+  std::vector<double> times;
+  e.schedule_at(10.0, [&] { times.push_back(e.now()); });
+  e.schedule_at(5.0, [&] { times.push_back(e.now()); });
+  e.run_all();
+  EXPECT_EQ(times, (std::vector<double>{5.0, 10.0}));
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  double fired_at = -1;
+  e.schedule_at(10.0, [&] {
+    e.schedule_in(5.0, [&] { fired_at = e.now(); });
+  });
+  e.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Engine e;
+  e.schedule_at(10.0, [] {});
+  e.run_all();
+  EXPECT_THROW(e.schedule_at(5.0, [] {}), std::logic_error);
+  EXPECT_THROW(e.schedule_in(-1.0, [] {}), std::logic_error);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryInclusive) {
+  Engine e;
+  std::vector<double> fired;
+  e.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  e.schedule_at(2.0, [&] { fired.push_back(2.0); });
+  e.schedule_at(3.0, [&] { fired.push_back(3.0); });
+  e.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  e.run_until(10.0);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);  // clock advances to the horizon
+}
+
+TEST(Engine, EventsScheduledDuringRunExecute) {
+  Engine e;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) e.schedule_in(1.0, chain);
+  };
+  e.schedule_at(0.0, chain);
+  e.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(e.now(), 4.0);
+}
+
+TEST(Engine, StepExecutesOne) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1.0, [&] { ++count; });
+  e.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, RequestStopBreaksRun) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1.0, [&] {
+    ++count;
+    e.request_stop();
+  });
+  e.schedule_at(2.0, [&] { ++count; });
+  e.run_all();
+  EXPECT_EQ(count, 1);
+  e.run_all();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, CancelViaEngine) {
+  Engine e;
+  bool ran = false;
+  auto h = e.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(e.cancel(h));
+  e.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, ProcessedCount) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule_at(i, [] {});
+  e.run_all();
+  EXPECT_EQ(e.processed(), 7u);
+}
+
+TEST(Engine, DeterministicInterleaving) {
+  auto run = [] {
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 20; ++i) {
+      e.schedule_at(static_cast<double>(i % 3), [&order, i] { order.push_back(i); });
+    }
+    e.run_all();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dpjit::sim

@@ -1,0 +1,78 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dpjit::util {
+namespace {
+
+TEST(JsonEscape, PassesPlainText) { EXPECT_EQ(json_escape("hello"), "hello"); }
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, FlatObject) {
+  std::ostringstream os;
+  JsonWriter j(os);
+  j.begin_object().kv("name", "dsmf").kv("act", 123.5).kv("n", std::int64_t{42}).kv("ok", true)
+      .end_object();
+  EXPECT_TRUE(j.complete());
+  EXPECT_EQ(os.str(), R"({"name":"dsmf","act":123.5,"n":42,"ok":true})");
+}
+
+TEST(JsonWriter, NestedArrays) {
+  std::ostringstream os;
+  JsonWriter j(os);
+  j.begin_array();
+  j.begin_array().value(1.0).value(2.0).end_array();
+  j.begin_array().end_array();
+  j.null();
+  j.end_array();
+  EXPECT_EQ(os.str(), "[[1,2],[],null]");
+  EXPECT_TRUE(j.complete());
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  std::ostringstream os;
+  JsonWriter j(os);
+  j.begin_array().value(std::numeric_limits<double>::infinity()).end_array();
+  EXPECT_EQ(os.str(), "[null]");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  std::ostringstream os;
+  {
+    JsonWriter j(os);
+    j.begin_object();
+    EXPECT_THROW(j.value(1.0), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter j(os);
+    EXPECT_THROW(j.key("x"), std::logic_error);  // key outside object
+  }
+  {
+    JsonWriter j(os);
+    j.begin_array();
+    EXPECT_THROW(j.end_object(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter j(os);
+    j.value(1.0);
+    EXPECT_THROW(j.value(2.0), std::logic_error);  // two roots
+  }
+}
+
+TEST(JsonWriter, KeysEscaped) {
+  std::ostringstream os;
+  JsonWriter j(os);
+  j.begin_object().kv("we\"ird", "v").end_object();
+  EXPECT_EQ(os.str(), R"({"we\"ird":"v"})");
+}
+
+}  // namespace
+}  // namespace dpjit::util

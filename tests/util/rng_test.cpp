@@ -1,0 +1,158 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dpjit::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(10.0, 20.0);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LT(v, 20.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversFullInclusiveRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(1, 5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, UniformIntUnbiasedish) {
+  Rng rng(123);
+  int counts[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(0, 9)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng parent(77);
+  Rng a = parent.fork("alpha");
+  Rng b = parent.fork("alpha");
+  Rng c = parent.fork("beta");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  // A different label must produce a different stream.
+  Rng a2 = parent.fork("alpha");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a2() == c()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkWithIndexDiffers) {
+  Rng parent(77);
+  Rng a = parent.fork("node", 1);
+  Rng b = parent.fork("node", 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIndependentOfParentConsumption) {
+  Rng p1(5);
+  Rng p2(5);
+  p2();
+  p2();  // consuming the parent must not change children
+  Rng c1 = p1.fork("x");
+  Rng c2 = p2.fork("x");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(c1(), c2());
+}
+
+TEST(Rng, IndexWithinBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(17), 17u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleIndicesDistinctAndBounded) {
+  Rng rng(31);
+  auto s = rng.sample_indices(100, 10);
+  EXPECT_EQ(s.size(), 10u);
+  std::set<std::size_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 10u);
+  for (auto i : s) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleIndicesKGreaterThanN) {
+  Rng rng(31);
+  auto s = rng.sample_indices(5, 50);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+}  // namespace
+}  // namespace dpjit::util
