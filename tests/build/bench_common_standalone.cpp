@@ -1,0 +1,4 @@
+// bench_common.hpp must be includable as the first and only dpjit include.
+#include "bench_common.hpp"
+
+int main() { return 0; }

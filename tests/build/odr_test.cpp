@@ -1,0 +1,12 @@
+#include <gtest/gtest.h>
+
+int dpjit_odr_probe_a();
+int dpjit_odr_probe_b();
+
+// The real assertion is that this binary linked at all: odr_tu_a.cpp and
+// odr_tu_b.cpp both include every public header, so any non-inline
+// definition leaking from a header is a duplicate-symbol link error.
+TEST(OdrTest, BothTranslationUnitsLink) {
+  EXPECT_EQ(dpjit_odr_probe_a(), 1);
+  EXPECT_EQ(dpjit_odr_probe_b(), 2);
+}

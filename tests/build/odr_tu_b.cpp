@@ -1,0 +1,5 @@
+#include "all_headers.hpp"
+
+// Distinct symbol per TU so the linker must merge everything the headers
+// define. A duplicate non-inline definition in any header fails this link.
+int dpjit_odr_probe_b() { return 2; }
