@@ -1,0 +1,309 @@
+// Performance-regression harness for the simulation hot path.
+//
+// Times three things and emits one JSON document (see BENCH_2.json for the
+// recorded baseline-vs-current numbers):
+//   1. EventQueue micro-ops (schedule/pop and schedule/cancel throughput),
+//      both for the current sim::EventQueue and for a frozen copy of the
+//      pre-overhaul implementation (std::priority_queue + unordered_map +
+//      lazy tombstone cancel) kept here as the reference point, so the
+//      speedup is always measured on the same machine in the same binary;
+//   2. all-pairs Routing construction over a Waxman topology;
+//   3. an end-to-end fig11-style run (one DSMF experiment at --nodes, full
+//      36 h horizon) with a bitwise digest of the result metrics so perf
+//      changes that perturb simulation output are caught immediately.
+//
+// Usage: perf_harness [--quick] [--nodes=500] [--ops=6000000] [--seed=1]
+//                     [--out=PATH]       (default: print JSON to stdout)
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+
+#include "exp/experiment.hpp"
+#include "net/routing.hpp"
+#include "sim/event_queue.hpp"
+#include "util/config.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dpjit::SimTime;
+
+/// Frozen copy of the pre-overhaul EventQueue (binary-heap of (time, seq)
+/// entries, unordered_map for liveness, lazy cancellation). Do not "fix" or
+/// modernize this type: it exists so BENCH_*.json speedups stay reproducible.
+class BaselineEventQueue {
+ public:
+  using Handle = std::uint64_t;
+  using EventFn = std::function<void()>;
+
+  Handle schedule(SimTime t, EventFn fn) {
+    const Handle h = next_seq_++;
+    heap_.push(Entry{t, h});
+    live_.emplace(h, std::move(fn));
+    return h;
+  }
+
+  bool cancel(Handle h) { return live_.erase(h) > 0; }
+
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+
+  std::pair<SimTime, EventFn> pop() {
+    skip_dead();
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = live_.find(top.seq);
+    EventFn fn = std::move(it->second);
+    live_.erase(it);
+    return {top.time, std::move(fn)};
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    Handle seq;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void skip_dead() {
+    while (!heap_.empty() && live_.find(heap_.top().seq) == live_.end()) heap_.pop();
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<Handle, EventFn> live_;
+  Handle next_seq_ = 0;
+};
+
+double now_s() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+/// Deterministic pseudo-random event times (no util::Rng dependency so the
+/// micro-loop stays allocation- and call-free apart from the queue op itself).
+struct TimeGen {
+  std::uint64_t s = 0x9e3779b97f4a7c15ULL;
+  double base = 0.0;
+  SimTime next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    // Events land within a 1000 s lookahead window past the current base.
+    return base + static_cast<double>(s % 100000U) / 100.0;
+  }
+};
+
+/// Rolling schedule/pop: fill a window, then pop-one/schedule-one. This is
+/// the engine's steady-state pattern. Returns mega-ops (1 op = one schedule
+/// plus one pop) per second. `sink` defeats dead-code elimination.
+template <class Queue>
+double bench_schedule_pop(std::size_t ops, std::uint64_t& sink) {
+  constexpr std::size_t kWindow = 4096;
+  Queue q;
+  TimeGen gen;
+  std::uint64_t fired = 0;
+  for (std::size_t i = 0; i < kWindow; ++i) q.schedule(gen.next(), [&fired] { ++fired; });
+  const double t0 = now_s();
+  for (std::size_t i = 0; i < ops; ++i) {
+    auto [t, fn] = q.pop();
+    gen.base = t;  // simulated clock only moves forward
+    fn();
+    q.schedule(gen.next(), [&fired] { ++fired; });
+  }
+  const double dt = now_s() - t0;
+  while (!q.empty()) q.pop().second();
+  sink += fired;
+  return static_cast<double>(ops) / dt / 1e6;
+}
+
+/// The schedule/cancel/pop mix: the reschedule-churn pattern of the fair-
+/// sharing transfer manager and churn aborts. A pool of "flows" each holds a
+/// live far-future completion event; every iteration cancels one (always
+/// live), reschedules it at a new far-future time, and schedules + pops one
+/// near event to advance the frontier. Under lazy cancellation the far-future
+/// tombstones never reach the heap top, so the dead set grows by one entry
+/// per iteration - the exact pathology true removal fixes by construction.
+/// The final drain is inside the timed region: lazy cancellation only defers
+/// its removal work (every tombstone is heap-popped when the frontier passes
+/// it), so the amortized cost per operation must charge for it.
+/// Returns mega-iterations (1 schedule + 1 cancel + 1 reschedule + 1 pop)
+/// per second.
+template <class Queue>
+double bench_schedule_cancel_pop(std::size_t ops, std::uint64_t& sink) {
+  constexpr std::size_t kFlows = 4096;
+  constexpr double kFarFuture = 1e7;  // beyond any time the frontier reaches
+  Queue q;
+  TimeGen gen;
+  std::uint64_t fired = 0;
+  std::vector<typename Queue::Handle> completion(kFlows);
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    completion[i] = q.schedule(kFarFuture + gen.next(), [&fired] { ++fired; });
+  }
+  for (std::size_t i = 0; i < kFlows; ++i) q.schedule(gen.next(), [&fired] { ++fired; });
+  std::size_t flow = 0;
+  const double t0 = now_s();
+  for (std::size_t i = 0; i < ops; ++i) {
+    if (!q.cancel(completion[flow])) return -1.0;  // must be live by design
+    completion[flow] = q.schedule(kFarFuture + gen.next(), [&fired] { ++fired; });
+    flow = (flow + 1) % kFlows;
+    q.schedule(gen.next(), [&fired] { ++fired; });
+    auto [t, fn] = q.pop();
+    gen.base = t;
+    fn();
+  }
+  while (!q.empty()) q.pop().second();
+  const double dt = now_s() - t0;
+  sink += fired;
+  return static_cast<double>(ops) / dt / 1e6;
+}
+
+/// FNV-1a over the bit patterns of the result's headline metrics: a cheap
+/// fingerprint for "the refactor did not change simulation output".
+std::uint64_t result_digest(const dpjit::exp::ExperimentResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(std::bit_cast<std::uint64_t>(r.act));
+  mix(std::bit_cast<std::uint64_t>(r.ae));
+  mix(std::bit_cast<std::uint64_t>(r.mean_response));
+  mix(r.workflows_finished);
+  mix(r.tasks_dispatched);
+  mix(r.tasks_failed);
+  mix(r.gossip_messages);
+  mix(r.events_processed);
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dpjit;
+  const auto cli = util::Config::from_args(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const auto ops = static_cast<std::size_t>(cli.get_int("ops", quick ? 500000 : 6000000));
+  const int nodes = static_cast<int>(cli.get_int("nodes", quick ? 100 : 500));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string out_path = cli.get_string("out", "-");
+
+  std::uint64_t sink = 0;
+
+  // --- 1. EventQueue micro-ops (median of 3 runs each) ----------------------
+  auto median3 = [](double a, double b, double c) {
+    return std::max(std::min(a, b), std::min(std::max(a, b), c));
+  };
+  std::fprintf(stderr, "[1/3] event-queue micro-ops (%zu ops/run)...\n", ops);
+  double base_sp[3], cur_sp[3], base_sc[3], cur_sc[3];
+  for (int r = 0; r < 3; ++r) {
+    base_sp[r] = bench_schedule_pop<BaselineEventQueue>(ops, sink);
+    cur_sp[r] = bench_schedule_pop<sim::EventQueue>(ops, sink);
+    base_sc[r] = bench_schedule_cancel_pop<BaselineEventQueue>(ops, sink);
+    cur_sc[r] = bench_schedule_cancel_pop<sim::EventQueue>(ops, sink);
+  }
+  const double baseline_pop = median3(base_sp[0], base_sp[1], base_sp[2]);
+  const double current_pop = median3(cur_sp[0], cur_sp[1], cur_sp[2]);
+  const double baseline_cancel = median3(base_sc[0], base_sc[1], base_sc[2]);
+  const double current_cancel = median3(cur_sc[0], cur_sc[1], cur_sc[2]);
+
+  // --- 2. Routing construction ---------------------------------------------
+  std::fprintf(stderr, "[2/3] routing build (n=%d)...\n", nodes);
+  util::Rng topo_rng(seed);
+  net::TopologyParams tp;
+  tp.node_count = nodes;
+  const auto topo = net::Topology::generate_waxman(tp, topo_rng);
+  double routing_ms = 0.0;
+  double routing_mean_bw = 0.0;
+  {
+    const int reps = quick ? 2 : 3;
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const double t0 = now_s();
+      net::Routing routing(topo);
+      const double dt = (now_s() - t0) * 1e3;
+      best = std::min(best, dt);
+      routing_mean_bw = routing.mean_pair_bandwidth_mbps();
+    }
+    routing_ms = best;
+  }
+
+  // --- 3. End-to-end fig11-style run ---------------------------------------
+  std::fprintf(stderr, "[3/3] end-to-end dsmf run (n=%d, 36 h horizon)...\n", nodes);
+  exp::ExperimentConfig cfg;
+  cfg.algorithm = "dsmf";
+  cfg.nodes = nodes;
+  cfg.seed = seed;
+  const double e2e_t0 = now_s();
+  const auto result = exp::run_experiment(cfg);
+  const double e2e_wall = now_s() - e2e_t0;
+
+  // --- emit ----------------------------------------------------------------
+  std::ostringstream json;
+  {
+    util::JsonWriter w(json);
+    w.begin_object();
+    w.kv("schema", "dpjit-perf-harness-v1");
+    w.kv("quick", quick);
+    w.key("event_queue").begin_object();
+    w.kv("ops", static_cast<std::uint64_t>(ops));
+    w.kv("baseline_schedule_pop_mops", baseline_pop);
+    w.kv("current_schedule_pop_mops", current_pop);
+    w.kv("schedule_pop_speedup", current_pop / baseline_pop);
+    w.kv("baseline_schedule_cancel_pop_mops", baseline_cancel);
+    w.kv("current_schedule_cancel_pop_mops", current_cancel);
+    w.kv("schedule_cancel_pop_speedup", current_cancel / baseline_cancel);
+    w.end_object();
+    w.key("routing").begin_object();
+    w.kv("nodes", static_cast<std::int64_t>(nodes));
+    w.kv("build_ms", routing_ms);
+    w.kv("mean_pair_bandwidth_mbps", routing_mean_bw);
+    w.end_object();
+    w.key("end_to_end").begin_object();
+    w.kv("nodes", static_cast<std::int64_t>(nodes));
+    w.kv("algorithm", "dsmf");
+    w.kv("seed", seed);
+    w.kv("wall_s", e2e_wall);
+    w.kv("events", result.events_processed);
+    w.kv("events_per_s", static_cast<double>(result.events_processed) / e2e_wall);
+    w.kv("workflows_finished", static_cast<std::uint64_t>(result.workflows_finished));
+    w.kv("act", result.act);
+    w.kv("ae", result.ae);
+    w.kv("result_digest", result_digest(result));
+    w.end_object();
+    w.end_object();
+  }
+  json << "\n";
+
+  if (out_path == "-") {
+    std::cout << json.str();
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "perf_harness: cannot open " << out_path << " for writing\n";
+      return 1;
+    }
+    out << json.str();
+    std::cout << "wrote " << out_path << "\n";
+  }
+  // Human-readable summary on stderr so CI logs show the numbers inline.
+  std::fprintf(stderr,
+               "schedule/pop  %.2f -> %.2f Mops/s (%.2fx)\n"
+               "schedule/cancel/pop %.2f -> %.2f Mops/s (%.2fx)\n"
+               "routing build n=%d: %.1f ms\n"
+               "end-to-end n=%d: %.2f s wall, %llu events (%.0f events/s)\n",
+               baseline_pop, current_pop, current_pop / baseline_pop, baseline_cancel,
+               current_cancel, current_cancel / baseline_cancel, nodes, routing_ms, nodes, e2e_wall,
+               static_cast<unsigned long long>(result.events_processed),
+               static_cast<double>(result.events_processed) / e2e_wall);
+  return sink == 0xdeadbeef ? 2 : 0;
+}

@@ -124,7 +124,7 @@ GridSystem::GridSystem(sim::Engine& engine, const net::Topology& topo,
   nodes_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) nodes_.emplace_back(NodeId{i}, capacities[static_cast<std::size_t>(i)]);
   home_workflows_.resize(static_cast<std::size_t>(n));
-  running_event_.resize(static_cast<std::size_t>(n), 0);
+  running_event_.resize(static_cast<std::size_t>(n), sim::EventQueue::kInvalidHandle);
 
   double cap_sum = 0.0;
   for (double c : capacities) cap_sum += c;

@@ -1,6 +1,7 @@
-// Parameter sweeps: run many independent experiment configurations, in
-// parallel when OpenMP is available (each run owns its engine and RNG streams,
-// so parallel execution cannot perturb determinism).
+// Parameter sweeps: run many independent experiment configurations across a
+// portable std::thread pool (no OpenMP dependency). Each run owns its engine
+// and RNG streams, so results are bit-identical to serial execution at any
+// thread count.
 #pragma once
 
 #include <vector>
@@ -10,7 +11,9 @@
 namespace dpjit::exp {
 
 /// Runs every configuration and returns results in the same order.
-[[nodiscard]] std::vector<ExperimentResult> run_sweep(const std::vector<ExperimentConfig>& configs);
+/// `threads` <= 0 means hardware concurrency; 1 forces serial execution.
+[[nodiscard]] std::vector<ExperimentResult> run_sweep(const std::vector<ExperimentConfig>& configs,
+                                                      int threads = 0);
 
 /// Convenience: the same base config across the paper's eight algorithms.
 [[nodiscard]] std::vector<ExperimentConfig> across_algorithms(const ExperimentConfig& base);

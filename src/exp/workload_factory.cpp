@@ -39,7 +39,7 @@ World::World(const ExperimentConfig& config)
     : config_(config),
       rng_(config.seed),
       topo_(build_topology(config, rng_)),
-      routing_(topo_),
+      routing_(topo_, config.routing_threads),
       landmarks_([&]() -> net::LandmarkEstimator {
         auto lm_rng = rng_.fork("landmarks");
         return net::LandmarkEstimator(routing_, log2_ceil(config.nodes), lm_rng);
@@ -47,6 +47,10 @@ World::World(const ExperimentConfig& config)
       metrics_(config.system.horizon_s) {
   if (config.nodes < 1) throw std::invalid_argument("World: nodes >= 1");
   if (config.workflows_per_node < 0) throw std::invalid_argument("World: workflows_per_node >= 0");
+
+  engine_.reserve(config.event_capacity_hint != 0
+                      ? config.event_capacity_hint
+                      : static_cast<std::size_t>(config.nodes) * 16 + 1024);
 
   std::vector<double> capacities;
   capacities.reserve(static_cast<std::size_t>(config.nodes));
@@ -81,12 +85,11 @@ void World::submit_workload() {
         // Closed model (the paper's setting): everything arrives at t = 0.
         system_->submit(NodeId{h}, std::move(wf));
       } else {
-        // Open model: Poisson arrivals per home node.
+        // Open model: Poisson arrivals per home node. Event callbacks are
+        // move-only, so the workflow moves straight into the capture.
         next_arrival += arrival_rng.exponential(config_.mean_interarrival_s);
-        // shared_ptr because std::function requires copyable callables.
-        auto pending = std::make_shared<dag::Workflow>(std::move(wf));
-        engine_.schedule_at(next_arrival, [this, h, pending] {
-          system_->submit(NodeId{h}, std::move(*pending));
+        engine_.schedule_at(next_arrival, [this, h, pending = std::move(wf)]() mutable {
+          system_->submit(NodeId{h}, std::move(pending));
         });
       }
     }

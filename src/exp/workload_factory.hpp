@@ -41,6 +41,14 @@ struct ExperimentConfig {
   /// its workflows one by one with exponential inter-arrival times of this
   /// mean (seconds), e.g. 3600 = on average one new workflow per hour per home.
   double mean_interarrival_s = 0.0;
+  /// Pre-sized capacity of the engine's event slab (concurrently pending
+  /// events). 0 = derive from `nodes` (gossip keeps O(fanout) messages in
+  /// flight per node). Purely an allocation hint; never affects results.
+  std::size_t event_capacity_hint = 0;
+  /// Threads for the all-pairs Routing build (0 = hardware concurrency).
+  /// run_sweep forces 1 for its workers so concurrent experiments do not
+  /// nest full-width pools. Never affects results (bit-identical build).
+  int routing_threads = 0;
   std::uint64_t seed = 1;
 
   /// Applies the CCR presets of Figs. 9-10: load and data ranges.

@@ -1,23 +1,30 @@
 #include "gossip/view.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace dpjit::gossip {
 
+// NOTE: every mutation below must leave entries_ in exactly the layout the
+// original index-free implementation produced (same slots, same order): the
+// neighbor-selection shuffle consumes RNG draws over the entries in order,
+// so layout changes would silently change simulation results.
+
 bool ResourceView::merge(const ResourceEntry& entry) {
-  for (auto& e : entries_) {
-    if (e.node == entry.node) {
-      if (entry.stamped_at > e.stamped_at) {
-        e = entry;
-        return true;
-      }
-      // Same snapshot seen again: keep the higher remaining TTL so forwarding
-      // budget is not lost to duplicate delivery order.
-      if (entry.stamped_at == e.stamped_at && entry.ttl > e.ttl) e.ttl = entry.ttl;
-      return false;
+  const std::uint16_t slot = lookup(entry.node);
+  if (slot != kNoSlot) {
+    ResourceEntry& e = entries_[slot];
+    if (entry.stamped_at > e.stamped_at) {
+      e = entry;
+      return true;
     }
+    // Same snapshot seen again: keep the higher remaining TTL so forwarding
+    // budget is not lost to duplicate delivery order.
+    if (entry.stamped_at == e.stamped_at && entry.ttl > e.ttl) e.ttl = entry.ttl;
+    return false;
   }
   if (entries_.size() < capacity_) {
+    index(entry.node, entries_.size());
     entries_.push_back(entry);
     return true;
   }
@@ -26,6 +33,8 @@ bool ResourceView::merge(const ResourceEntry& entry) {
       entries_.begin(), entries_.end(),
       [](const ResourceEntry& a, const ResourceEntry& b) { return a.stamped_at < b.stamped_at; });
   if (stalest->stamped_at < entry.stamped_at) {
+    unindex(stalest->node);
+    index(entry.node, static_cast<std::size_t>(stalest - entries_.begin()));
     *stalest = entry;
     return true;
   }
@@ -33,30 +42,35 @@ bool ResourceView::merge(const ResourceEntry& entry) {
 }
 
 void ResourceView::expire(SimTime now, double max_age, NodeId self) {
+  const auto before = entries_.size();
   std::erase_if(entries_, [&](const ResourceEntry& e) {
-    return e.node == self || (now - e.stamped_at) > max_age;
+    const bool drop = e.node == self || (now - e.stamped_at) > max_age;
+    if (drop) unindex(e.node);
+    return drop;
   });
+  // erase_if compacted the survivors; refresh their slots.
+  if (entries_.size() != before) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) index(entries_[i].node, i);
+  }
 }
 
 bool ResourceView::forget(NodeId node) {
-  const auto before = entries_.size();
-  std::erase_if(entries_, [&](const ResourceEntry& e) { return e.node == node; });
-  return entries_.size() != before;
+  const std::uint16_t slot = lookup(node);
+  if (slot == kNoSlot) return false;
+  unindex(node);
+  entries_.erase(entries_.begin() + slot);
+  for (std::size_t i = slot; i < entries_.size(); ++i) index(entries_[i].node, i);
+  return true;
 }
 
 bool ResourceView::adjust_load(NodeId node, double delta_mi) {
-  for (auto& e : entries_) {
-    if (e.node == node) {
-      e.load_mi = std::max(0.0, e.load_mi + delta_mi);
-      return true;
-    }
-  }
-  return false;
+  const std::uint16_t slot = lookup(node);
+  if (slot == kNoSlot) return false;
+  ResourceEntry& e = entries_[slot];
+  e.load_mi = std::max(0.0, e.load_mi + delta_mi);
+  return true;
 }
 
-bool ResourceView::contains(NodeId node) const {
-  return std::any_of(entries_.begin(), entries_.end(),
-                     [&](const ResourceEntry& e) { return e.node == node; });
-}
+bool ResourceView::contains(NodeId node) const { return lookup(node) != kNoSlot; }
 
 }  // namespace dpjit::gossip

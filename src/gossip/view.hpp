@@ -3,6 +3,9 @@
 // aggregation estimates.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
 #include <vector>
 
 #include "util/types.hpp"
@@ -23,6 +26,13 @@ struct ResourceEntry {
 };
 
 /// Bounded freshest-first cache of ResourceEntry, one per known peer.
+///
+/// Entry *order* is part of the observable behavior (neighbor selection
+/// shuffles the entries in order, consuming RNG draws), so all mutations keep
+/// the same vector layout the naive implementation produced. A direct-mapped
+/// node -> slot side index makes the per-entry lookup O(1): merge() is the
+/// single hottest function of an end-to-end run (tens of millions of calls),
+/// and the linear scan it replaced dominated the profile.
 class ResourceView {
  public:
   explicit ResourceView(std::size_t capacity = 30) : capacity_(capacity) {}
@@ -48,11 +58,34 @@ class ResourceView {
   [[nodiscard]] const std::vector<ResourceEntry>& entries() const { return entries_; }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] bool contains(NodeId node) const;
-  void clear() { entries_.clear(); }
+  void clear() {
+    entries_.clear();
+    std::fill(slot_of_.begin(), slot_of_.end(), kNoSlot);
+  }
 
  private:
+  static constexpr std::uint16_t kNoSlot = 0xffff;
+
+  /// Slot of `node` in entries_, or kNoSlot. Grows the index on demand.
+  [[nodiscard]] std::uint16_t lookup(NodeId node) const {
+    const auto i = static_cast<std::size_t>(node.get());
+    return i < slot_of_.size() ? slot_of_[i] : kNoSlot;
+  }
+  void index(NodeId node, std::size_t slot) {
+    assert(node.valid() && slot < kNoSlot);
+    const auto i = static_cast<std::size_t>(node.get());
+    if (i >= slot_of_.size()) slot_of_.resize(i + 1, kNoSlot);
+    slot_of_[i] = static_cast<std::uint16_t>(slot);
+  }
+  void unindex(NodeId node) {
+    const auto i = static_cast<std::size_t>(node.get());
+    if (i < slot_of_.size()) slot_of_[i] = kNoSlot;
+  }
+
   std::size_t capacity_;
   std::vector<ResourceEntry> entries_;
+  /// node id -> slot in entries_ (kNoSlot when absent); lazily grown.
+  std::vector<std::uint16_t> slot_of_;
 };
 
 /// Push-pull averaging state for one metric (Jelasity et al., TOCS 2005).

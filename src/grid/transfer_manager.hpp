@@ -12,7 +12,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 
 #include "net/flow_sharing.hpp"
@@ -26,7 +25,8 @@ class TransferManager {
   enum class Mode { kBottleneck, kFairSharing };
 
   /// Completion callback: success=false means the transfer was aborted.
-  using CompletionFn = std::function<void(bool success)>;
+  /// Move-only (fired at most once); small captures stay allocation-free.
+  using CompletionFn = sim::InlineFunction<void(bool success)>;
 
   TransferManager(sim::Engine& engine, const net::Topology& topo, const net::Routing& routing,
                   Mode mode = Mode::kBottleneck);
@@ -57,7 +57,8 @@ class TransferManager {
     SimTime last_update = 0.0;       // fair mode: when remaining_mb was valid
     std::vector<LinkId> links;       // fair mode: route
     CompletionFn on_done;
-    sim::EventQueue::Handle event = 0;  // bottleneck mode completion event
+    /// Bottleneck-mode completion event.
+    sim::EventQueue::Handle event = sim::EventQueue::kInvalidHandle;
     bool latency_pending = false;       // fair mode: still in propagation delay
   };
 
@@ -77,7 +78,7 @@ class TransferManager {
   std::uint64_t next_id_ = 1;
   std::uint64_t completed_ = 0;
   double delivered_mb_ = 0.0;
-  sim::EventQueue::Handle fair_event_ = 0;
+  sim::EventQueue::Handle fair_event_ = sim::EventQueue::kInvalidHandle;
   bool fair_event_armed_ = false;
   SimTime fair_clock_ = 0.0;
 };

@@ -4,21 +4,33 @@
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <vector>
+
+#include "util/parallel.hpp"
 
 namespace dpjit::net {
+namespace {
 
-Routing::Routing(const Topology& topo) : n_(topo.node_count()), topo_(&topo) {
-  const auto nn = static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
-  latency_.assign(nn, std::numeric_limits<float>::infinity());
-  bandwidth_.assign(nn, 0.0f);
-  next_link_.assign(nn, LinkId::kInvalid);
+/// Reusable per-worker Dijkstra scratch, allocated once per worker instead of
+/// once per source.
+struct DijkstraScratch {
+  std::vector<double> dist;
+  std::vector<LinkId> via;  // link used to reach node
+  std::vector<int> parent;  // previous node on path
 
+  explicit DijkstraScratch(std::size_t n) : dist(n), via(n), parent(n) {}
+};
+
+}  // namespace
+
+void Routing::build_rows(const Topology& topo, int src_begin, int src_end) {
   using QEntry = std::pair<double, int>;  // (distance, node)
-  std::vector<double> dist(static_cast<std::size_t>(n_));
-  std::vector<LinkId> via(static_cast<std::size_t>(n_));      // link used to reach node
-  std::vector<int> parent(static_cast<std::size_t>(n_));      // previous node on path
+  DijkstraScratch scratch(static_cast<std::size_t>(n_));
+  auto& dist = scratch.dist;
+  auto& via = scratch.via;
+  auto& parent = scratch.parent;
 
-  for (int src = 0; src < n_; ++src) {
+  for (int src = src_begin; src < src_end; ++src) {
     std::fill(dist.begin(), dist.end(), std::numeric_limits<double>::infinity());
     std::fill(via.begin(), via.end(), LinkId{});
     std::fill(parent.begin(), parent.end(), -1);
@@ -66,6 +78,37 @@ Routing::Routing(const Topology& topo) : n_(topo.node_count()), topo_(&topo) {
   }
 }
 
+Routing::Routing(const Topology& topo, int threads) : n_(topo.node_count()), topo_(&topo) {
+  const auto nn = static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
+  latency_.assign(nn, std::numeric_limits<float>::infinity());
+  bandwidth_.assign(nn, 0.0f);
+  next_link_.assign(nn, LinkId::kInvalid);
+
+  // Each worker writes a disjoint contiguous block of source rows, so the
+  // result is bit-identical to the serial build regardless of thread count.
+  // n < 64 is not worth the thread spawns.
+  util::parallel_for_blocks(static_cast<std::size_t>(n_), n_ < 64 ? 1 : threads,
+                            [this, &topo](std::size_t begin, std::size_t end) {
+                              build_rows(topo, static_cast<int>(begin), static_cast<int>(end));
+                            });
+
+  // Cache the all-pairs mean once; the scan order matches the original
+  // on-demand implementation exactly, so the cached value is bit-identical.
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (int u = 0; u < n_; ++u) {
+    for (int v = 0; v < n_; ++v) {
+      if (u == v) continue;
+      const float bw = bandwidth_[idx(NodeId{u}, NodeId{v})];
+      if (bw > 0.0f && std::isfinite(bw)) {
+        sum += bw;
+        ++count;
+      }
+    }
+  }
+  mean_bandwidth_mbps_ = count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
 double Routing::latency_s(NodeId u, NodeId v) const {
   assert(u.valid() && v.valid() && u.get() < n_ && v.get() < n_);
   return latency_[idx(u, v)];
@@ -99,22 +142,6 @@ std::vector<LinkId> Routing::path_links(NodeId u, NodeId v) const {
     cur = topo_->other_end(l, cur);
   }
   return path;
-}
-
-double Routing::mean_pair_bandwidth_mbps() const {
-  double sum = 0.0;
-  std::size_t count = 0;
-  for (int u = 0; u < n_; ++u) {
-    for (int v = 0; v < n_; ++v) {
-      if (u == v) continue;
-      const float bw = bandwidth_[idx(NodeId{u}, NodeId{v})];
-      if (bw > 0.0f && std::isfinite(bw)) {
-        sum += bw;
-        ++count;
-      }
-    }
-  }
-  return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
 }  // namespace dpjit::net

@@ -16,8 +16,12 @@ namespace dpjit::net {
 /// All-pairs routing derived from a Topology. Immutable after construction.
 class Routing {
  public:
-  /// Runs Dijkstra from every source. O(n * E log n); fine for n <= ~4000.
-  explicit Routing(const Topology& topo);
+  /// Runs Dijkstra from every source, one source per thread-pool task;
+  /// workers write disjoint row blocks of the flattened matrices, so the
+  /// result is bit-identical to a serial build regardless of thread count.
+  /// `threads` <= 0 means hardware concurrency. O(n * E log n) total work;
+  /// fine for n <= ~4000.
+  explicit Routing(const Topology& topo, int threads = 0);
 
   /// End-to-end latency in seconds; 0 for u == v; +inf when unreachable.
   [[nodiscard]] double latency_s(NodeId u, NodeId v) const;
@@ -40,7 +44,8 @@ class Routing {
 
   /// Mean pairwise bottleneck bandwidth over all ordered pairs u != v that are
   /// reachable - the "true" system average used when computing eft (Eq. 1).
-  [[nodiscard]] double mean_pair_bandwidth_mbps() const;
+  /// Computed once at build time; O(1) here.
+  [[nodiscard]] double mean_pair_bandwidth_mbps() const { return mean_bandwidth_mbps_; }
 
  private:
   [[nodiscard]] std::size_t idx(NodeId u, NodeId v) const {
@@ -48,8 +53,12 @@ class Routing {
            static_cast<std::size_t>(v.get());
   }
 
+  /// Dijkstra + matrix fill for sources [src_begin, src_end).
+  void build_rows(const Topology& topo, int src_begin, int src_end);
+
   int n_ = 0;
   const Topology* topo_ = nullptr;
+  double mean_bandwidth_mbps_ = 0.0;
   // Flattened n x n matrices (float to halve memory at n = 2000).
   std::vector<float> latency_;
   std::vector<float> bandwidth_;

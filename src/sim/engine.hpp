@@ -25,6 +25,13 @@ class Engine {
   /// Cancels a pending event; false if it already fired or was cancelled.
   bool cancel(EventQueue::Handle h);
 
+  /// Time of the earliest pending event. Requires pending() > 0.
+  [[nodiscard]] SimTime next_event_time() const { return queue_.next_time(); }
+
+  /// Pre-sizes the event slab for `n` concurrently pending events (capacity
+  /// hint from the experiment configuration; purely an allocation saver).
+  void reserve(std::size_t n) { queue_.reserve(n); }
+
   /// Executes one event if any is pending. Returns false when idle.
   bool step();
 

@@ -21,6 +21,7 @@ void PeriodicProcess::stop() {
   if (!running_) return;
   running_ = false;
   engine_.cancel(pending_);
+  pending_ = EventQueue::kInvalidHandle;
 }
 
 void PeriodicProcess::arm(SimTime t) {

@@ -11,7 +11,7 @@ namespace dpjit::sim {
 /// destroying the process; destruction cancels the pending event.
 class PeriodicProcess {
  public:
-  using CycleFn = std::function<void(std::uint64_t cycle)>;
+  using CycleFn = InlineFunction<void(std::uint64_t cycle)>;
 
   /// Does not start until start() is called.
   PeriodicProcess(Engine& engine, SimTime start, double interval, CycleFn fn);
@@ -37,7 +37,7 @@ class PeriodicProcess {
   double interval_;
   CycleFn fn_;
   std::uint64_t cycle_ = 0;
-  EventQueue::Handle pending_ = 0;
+  EventQueue::Handle pending_ = EventQueue::kInvalidHandle;
   bool running_ = false;
 };
 

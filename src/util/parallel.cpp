@@ -1,0 +1,85 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dpjit::util {
+namespace {
+
+/// Spawns `threads` copies of `worker`, joins them all, then rethrows the
+/// first exception any of them stored.
+template <typename Worker>
+void run_pool(int threads, Worker&& worker) {
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<bool> failed{false};
+  auto guarded = [&] {
+    try {
+      worker(failed);
+    } catch (...) {
+      const std::scoped_lock lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(guarded);
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+int resolve_threads(int requested, std::size_t max_useful) {
+  if (requested <= 0) requested = static_cast<int>(std::thread::hardware_concurrency());
+  const auto cap = static_cast<int>(std::min<std::size_t>(max_useful, 1024));
+  return std::max(1, std::min(requested, cap));
+}
+
+void parallel_for_blocks(std::size_t total, int threads,
+                         const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (total == 0) return;
+  threads = resolve_threads(threads, total);
+  if (threads == 1) {
+    fn(0, total);
+    return;
+  }
+  const std::size_t chunk = (total + static_cast<std::size_t>(threads) - 1) /
+                            static_cast<std::size_t>(threads);
+  std::atomic<std::size_t> next_block{0};
+  run_pool(threads, [&](std::atomic<bool>& failed) {
+    // One block per worker in spawn order; claiming via counter keeps the
+    // block <-> range mapping independent of which thread runs it.
+    for (;;) {
+      const std::size_t b = next_block.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t begin = b * chunk;
+      if (begin >= total || failed.load(std::memory_order_relaxed)) return;
+      fn(begin, std::min(total, begin + chunk));
+    }
+  });
+}
+
+void parallel_for_each(std::size_t total, int threads,
+                       const std::function<void(std::size_t)>& fn) {
+  if (total == 0) return;
+  threads = resolve_threads(threads, total);
+  if (threads == 1) {
+    for (std::size_t i = 0; i < total; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  run_pool(threads, [&](std::atomic<bool>& failed) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total || failed.load(std::memory_order_relaxed)) return;
+      fn(i);
+    }
+  });
+}
+
+}  // namespace dpjit::util

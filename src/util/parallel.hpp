@@ -1,0 +1,30 @@
+// Minimal std::thread fan-out helpers shared by the parallel Routing build
+// and the experiment sweep pool. Both capture worker exceptions and rethrow
+// the first one on the calling thread after every worker has joined (a bare
+// throw on a std::thread would call std::terminate).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dpjit::util {
+
+/// Resolves a thread-count request: <= 0 means hardware concurrency, and the
+/// result is clamped to [1, max_useful].
+[[nodiscard]] int resolve_threads(int requested, std::size_t max_useful);
+
+/// Splits [0, total) into one contiguous block per worker and runs
+/// `fn(begin, end)` on each across `threads` threads (<= 0 = hardware
+/// concurrency). Runs inline when one thread suffices. Use when items write
+/// disjoint index-keyed output and per-item cost is uniform.
+void parallel_for_blocks(std::size_t total, int threads,
+                         const std::function<void(std::size_t begin, std::size_t end)>& fn);
+
+/// Runs `fn(i)` for every i in [0, total) across `threads` threads with
+/// atomic-counter work stealing (<= 0 = hardware concurrency). Use when
+/// per-item cost varies (e.g. experiment runs at different scales). After a
+/// worker throws, remaining unclaimed items are skipped.
+void parallel_for_each(std::size_t total, int threads,
+                       const std::function<void(std::size_t i)>& fn);
+
+}  // namespace dpjit::util

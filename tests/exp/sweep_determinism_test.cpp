@@ -1,0 +1,100 @@
+// Determinism of the threaded sweep: a sweep executed serially and the same
+// sweep executed across the thread pool must produce byte-identical results
+// (every run owns its engine and RNG streams), and the parallel Routing build
+// must be bit-identical at any thread count.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "exp/sweep.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace dpjit::exp {
+namespace {
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.workflows_submitted, b.workflows_submitted);
+  EXPECT_EQ(a.workflows_finished, b.workflows_finished);
+  // Bitwise equality, not EXPECT_DOUBLE_EQ: determinism means the threaded
+  // sweep reproduces the serial numbers exactly.
+  EXPECT_EQ(std::memcmp(&a.act, &b.act, sizeof a.act), 0);
+  EXPECT_EQ(std::memcmp(&a.ae, &b.ae, sizeof a.ae), 0);
+  EXPECT_EQ(std::memcmp(&a.mean_response, &b.mean_response, sizeof a.mean_response), 0);
+  EXPECT_EQ(a.tasks_dispatched, b.tasks_dispatched);
+  EXPECT_EQ(a.tasks_failed, b.tasks_failed);
+  EXPECT_EQ(a.gossip_messages, b.gossip_messages);
+  EXPECT_EQ(a.gossip_bytes, b.gossip_bytes);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  ASSERT_EQ(a.throughput.size(), b.throughput.size());
+  for (std::size_t i = 0; i < a.throughput.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&a.throughput[i].value, &b.throughput[i].value,
+                          sizeof a.throughput[i].value),
+              0);
+  }
+}
+
+std::vector<ExperimentConfig> small_sweep() {
+  std::vector<ExperimentConfig> configs;
+  for (const char* algo : {"dsmf", "dsdf", "minmin"}) {
+    for (std::uint64_t seed : {1ULL, 2ULL}) {
+      ExperimentConfig cfg;
+      cfg.algorithm = algo;
+      cfg.nodes = 24;
+      cfg.workflows_per_node = 1;
+      cfg.system.horizon_s = 4.0 * 3600.0;
+      cfg.seed = seed;
+      configs.push_back(cfg);
+    }
+  }
+  return configs;
+}
+
+TEST(SweepDeterminism, SerialAndThreadedSweepsAgreeByteForByte) {
+  const auto configs = small_sweep();
+  const auto serial = run_sweep(configs, /*threads=*/1);
+  const auto threaded = run_sweep(configs, /*threads=*/4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(configs[i].algorithm + " seed " + std::to_string(configs[i].seed));
+    expect_identical(serial[i], threaded[i]);
+  }
+}
+
+TEST(SweepDeterminism, RepeatedThreadedSweepsAgree) {
+  const auto configs = small_sweep();
+  const auto first = run_sweep(configs, /*threads=*/3);
+  const auto second = run_sweep(configs, /*threads=*/3);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) expect_identical(first[i], second[i]);
+}
+
+TEST(SweepDeterminism, RoutingBuildIsIdenticalAtAnyThreadCount) {
+  net::TopologyParams params;
+  params.node_count = 120;
+  util::Rng rng(7);
+  const auto topo = net::Topology::generate_waxman(params, rng);
+  const net::Routing serial(topo, /*threads=*/1);
+  const net::Routing threaded(topo, /*threads=*/5);
+  const double serial_mean = serial.mean_pair_bandwidth_mbps();
+  const double threaded_mean = threaded.mean_pair_bandwidth_mbps();
+  EXPECT_EQ(std::memcmp(&serial_mean, &threaded_mean, sizeof serial_mean), 0);
+  for (int u = 0; u < params.node_count; ++u) {
+    for (int v = 0; v < params.node_count; ++v) {
+      const double l1 = serial.latency_s(NodeId{u}, NodeId{v});
+      const double l2 = threaded.latency_s(NodeId{u}, NodeId{v});
+      const double b1 = serial.bandwidth_mbps(NodeId{u}, NodeId{v});
+      const double b2 = threaded.bandwidth_mbps(NodeId{u}, NodeId{v});
+      ASSERT_EQ(std::memcmp(&l1, &l2, sizeof l1), 0) << u << "->" << v;
+      ASSERT_EQ(std::memcmp(&b1, &b2, sizeof b1), 0) << u << "->" << v;
+      ASSERT_EQ(serial.path_links(NodeId{u}, NodeId{v}), threaded.path_links(NodeId{u}, NodeId{v}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpjit::exp

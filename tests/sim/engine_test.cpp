@@ -100,6 +100,23 @@ TEST(Engine, ProcessedCount) {
   EXPECT_EQ(e.processed(), 7u);
 }
 
+TEST(Engine, NextEventTimePeeksWithoutMutating) {
+  Engine e;
+  e.schedule_at(5.0, [] {});
+  auto h = e.schedule_at(2.0, [] {});
+  // The peek path is const: repeated peeks see the same earliest event.
+  const Engine& ce = e;
+  EXPECT_DOUBLE_EQ(ce.next_event_time(), 2.0);
+  EXPECT_DOUBLE_EQ(ce.next_event_time(), 2.0);
+  EXPECT_EQ(e.pending(), 2u);
+  // Cancelling the earliest event re-exposes the next one (true removal, so
+  // the peek needs no dead-entry skipping).
+  EXPECT_TRUE(e.cancel(h));
+  EXPECT_DOUBLE_EQ(ce.next_event_time(), 5.0);
+  e.run_all();
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+}
+
 TEST(Engine, DeterministicInterleaving) {
   auto run = [] {
     Engine e;

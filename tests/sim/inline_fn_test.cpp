@@ -1,0 +1,148 @@
+#include "sim/inline_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace dpjit::sim {
+namespace {
+
+/// Counts allocations made through global new while alive.
+struct AllocCounter {
+  static inline std::size_t allocs = 0;
+};
+
+struct CountingProbe {
+  // 40 bytes of payload: fits the 48-byte SBO.
+  std::uint64_t payload[5] = {1, 2, 3, 4, 5};
+  void* operator new(std::size_t n) {
+    ++AllocCounter::allocs;
+    return ::operator new(n);
+  }
+  void operator delete(void* p) { ::operator delete(p); }
+  std::uint64_t operator()() const { return payload[0] + payload[4]; }
+};
+
+TEST(InlineFn, EmptyByDefaultAndThrowsOnCall) {
+  InlineFn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_THROW(f(), std::bad_function_call);
+}
+
+TEST(InlineFn, InvokesSmallLambdaAndReturnsValues) {
+  int hits = 0;
+  InlineFn f = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+
+  InlineFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFn, CapacityIsAtLeast48Bytes) {
+  static_assert(kInlineFnCapacity >= 48);
+  // A this-pointer plus five words of captures must stay inline.
+  struct Big {
+    void* self;
+    double a, b, c, d;
+  };
+  static_assert(sizeof(Big) <= kInlineFnCapacity);
+}
+
+TEST(InlineFn, TypicalCapturesDoNotAllocate) {
+  // CountingProbe's class-specific operator new counts heap fallbacks; the
+  // 40-byte callable must be stored inline, so the count stays zero.
+  AllocCounter::allocs = 0;
+  InlineFunction<std::uint64_t()> f = CountingProbe{};
+  EXPECT_EQ(f(), 6u);
+  InlineFunction<std::uint64_t()> g = std::move(f);
+  EXPECT_EQ(g(), 6u);
+  EXPECT_EQ(AllocCounter::allocs, 0u);
+}
+
+TEST(InlineFn, OversizedCapturesFallBackToHeapAndStillWork) {
+  struct Huge {
+    std::uint64_t words[16] = {};  // 128 bytes: exceeds the SBO
+    std::uint64_t operator()() const { return words[0] + words[15]; }
+  };
+  static_assert(sizeof(Huge) > kInlineFnCapacity);
+  Huge h;
+  h.words[0] = 40;
+  h.words[15] = 2;
+  InlineFunction<std::uint64_t()> f = h;
+  EXPECT_EQ(f(), 42u);
+  InlineFunction<std::uint64_t()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(g(), 42u);
+}
+
+TEST(InlineFn, MoveTransfersStateAndDestroysCaptures) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineFn f = [t = std::move(token)] { (void)*t; };
+    InlineFn g = std::move(f);
+    EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(static_cast<bool>(g));
+    EXPECT_FALSE(watch.expired());
+    g();
+  }
+  // Destruction of the wrapper destroys the capture exactly once.
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFn, MoveAssignmentReleasesPreviousCallable) {
+  auto first = std::make_shared<int>(1);
+  std::weak_ptr<int> watch_first = first;
+  InlineFn f = [t = std::move(first)] { (void)*t; };
+  f = [] {};
+  EXPECT_TRUE(watch_first.expired());
+  f = nullptr;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFn, WrapsMutableCallablesAndArguments) {
+  InlineFunction<int()> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+
+  InlineFunction<void(std::uint64_t)> cycle_fn;
+  std::uint64_t seen = 0;
+  cycle_fn = [&seen](std::uint64_t c) { seen = c; };
+  cycle_fn(41);
+  EXPECT_EQ(seen, 41u);
+}
+
+TEST(InlineFn, VoidSignatureDiscardsReturnValuesLikeStdFunction) {
+  int count = 0;
+  InlineFn f = [&count] { return ++count; };  // int-returning callable in a void slot
+  f();
+  f();
+  EXPECT_EQ(count, 2);
+  struct Huge {
+    std::uint64_t pad[16] = {};
+    int n = 0;
+    int operator()() { return ++n; }
+  };
+  InlineFn g = Huge{};  // heap-fallback path discards too
+  g();
+}
+
+TEST(InlineFn, WrapsACopyOfAStdFunctionLvalue) {
+  // Call sites occasionally pass a named std::function (e.g. a self-
+  // rescheduling chain); the wrapper must copy it, not dangle.
+  int hits = 0;
+  std::function<void()> chain = [&hits] { ++hits; };
+  InlineFn f = chain;
+  chain = nullptr;
+  f();
+  EXPECT_EQ(hits, 1);
+}
+
+}  // namespace
+}  // namespace dpjit::sim

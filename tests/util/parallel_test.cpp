@@ -1,0 +1,60 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace dpjit::util {
+namespace {
+
+TEST(Parallel, ResolveThreadsClampsToUsefulWork) {
+  EXPECT_EQ(resolve_threads(8, 3), 3);
+  EXPECT_EQ(resolve_threads(2, 100), 2);
+  EXPECT_GE(resolve_threads(0, 100), 1);  // hardware concurrency, at least 1
+  EXPECT_EQ(resolve_threads(-1, 1), 1);
+}
+
+TEST(Parallel, ForBlocksCoversRangeExactlyOnce) {
+  for (int threads : {1, 3, 7}) {
+    std::vector<std::atomic<int>> hits(100);
+    parallel_for_blocks(hits.size(), threads, [&](std::size_t begin, std::size_t end) {
+      ASSERT_LE(begin, end);
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Parallel, ForEachCoversRangeExactlyOnce) {
+  for (int threads : {1, 4}) {
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for_each(hits.size(), threads, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Parallel, EmptyRangeIsANoop) {
+  parallel_for_blocks(0, 4, [](std::size_t, std::size_t) { FAIL(); });
+  parallel_for_each(0, 4, [](std::size_t) { FAIL(); });
+}
+
+TEST(Parallel, WorkerExceptionIsRethrownOnCaller) {
+  EXPECT_THROW(parallel_for_each(64, 4,
+                                 [](std::size_t i) {
+                                   if (i == 13) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  EXPECT_THROW(parallel_for_blocks(64, 4,
+                                   [](std::size_t begin, std::size_t) {
+                                     if (begin == 0) throw std::runtime_error("boom");
+                                   }),
+               std::runtime_error);
+  // Serial paths propagate too.
+  EXPECT_THROW(parallel_for_each(4, 1, [](std::size_t) { throw std::logic_error("x"); }),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace dpjit::util
