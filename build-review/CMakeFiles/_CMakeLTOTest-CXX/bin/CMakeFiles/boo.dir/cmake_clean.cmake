@@ -1,0 +1,10 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boo.dir/main.cpp.o"
+  "boo"
+  "boo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

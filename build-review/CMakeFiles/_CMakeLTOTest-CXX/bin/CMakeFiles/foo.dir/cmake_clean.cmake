@@ -1,0 +1,10 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foo.dir/foo.cpp.o"
+  "libfoo.a"
+  "libfoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interval.dir/ablation_interval.cpp.o"
+  "CMakeFiles/ablation_interval.dir/ablation_interval.cpp.o.d"
+  "ablation_interval"
+  "ablation_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

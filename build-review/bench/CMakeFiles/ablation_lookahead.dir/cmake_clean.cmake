@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lookahead.dir/ablation_lookahead.cpp.o"
+  "CMakeFiles/ablation_lookahead.dir/ablation_lookahead.cpp.o.d"
+  "ablation_lookahead"
+  "ablation_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_network_model.dir/ablation_network_model.cpp.o"
+  "CMakeFiles/ablation_network_model.dir/ablation_network_model.cpp.o.d"
+  "ablation_network_model"
+  "ablation_network_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_network_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_network_model.
+# This may be replaced when dependencies are built.

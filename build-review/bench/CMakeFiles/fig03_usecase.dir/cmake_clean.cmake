@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_usecase.dir/fig03_usecase.cpp.o"
+  "CMakeFiles/fig03_usecase.dir/fig03_usecase.cpp.o.d"
+  "fig03_usecase"
+  "fig03_usecase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_usecase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_throughput_static.dir/fig04_throughput_static.cpp.o"
+  "CMakeFiles/fig04_throughput_static.dir/fig04_throughput_static.cpp.o.d"
+  "fig04_throughput_static"
+  "fig04_throughput_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_throughput_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_throughput_static.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_throughput_static.
+# This may be replaced when dependencies are built.

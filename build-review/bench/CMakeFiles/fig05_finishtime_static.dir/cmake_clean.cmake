@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_finishtime_static.dir/fig05_finishtime_static.cpp.o"
+  "CMakeFiles/fig05_finishtime_static.dir/fig05_finishtime_static.cpp.o.d"
+  "fig05_finishtime_static"
+  "fig05_finishtime_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_finishtime_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_efficiency_static.dir/fig06_efficiency_static.cpp.o"
+  "CMakeFiles/fig06_efficiency_static.dir/fig06_efficiency_static.cpp.o.d"
+  "fig06_efficiency_static"
+  "fig06_efficiency_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_efficiency_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

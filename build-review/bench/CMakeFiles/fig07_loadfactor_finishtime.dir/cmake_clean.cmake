@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_loadfactor_finishtime.dir/fig07_loadfactor_finishtime.cpp.o"
+  "CMakeFiles/fig07_loadfactor_finishtime.dir/fig07_loadfactor_finishtime.cpp.o.d"
+  "fig07_loadfactor_finishtime"
+  "fig07_loadfactor_finishtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_loadfactor_finishtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

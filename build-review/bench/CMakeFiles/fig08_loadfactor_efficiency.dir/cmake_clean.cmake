@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_loadfactor_efficiency.dir/fig08_loadfactor_efficiency.cpp.o"
+  "CMakeFiles/fig08_loadfactor_efficiency.dir/fig08_loadfactor_efficiency.cpp.o.d"
+  "fig08_loadfactor_efficiency"
+  "fig08_loadfactor_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_loadfactor_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_loadfactor_efficiency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_ccr_finishtime.dir/fig09_ccr_finishtime.cpp.o"
+  "CMakeFiles/fig09_ccr_finishtime.dir/fig09_ccr_finishtime.cpp.o.d"
+  "fig09_ccr_finishtime"
+  "fig09_ccr_finishtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ccr_finishtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

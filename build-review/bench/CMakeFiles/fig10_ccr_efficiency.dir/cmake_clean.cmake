@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ccr_efficiency.dir/fig10_ccr_efficiency.cpp.o"
+  "CMakeFiles/fig10_ccr_efficiency.dir/fig10_ccr_efficiency.cpp.o.d"
+  "fig10_ccr_efficiency"
+  "fig10_ccr_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ccr_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

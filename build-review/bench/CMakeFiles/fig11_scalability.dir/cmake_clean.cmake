@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_scalability.dir/fig11_scalability.cpp.o"
+  "CMakeFiles/fig11_scalability.dir/fig11_scalability.cpp.o.d"
+  "fig11_scalability"
+  "fig11_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

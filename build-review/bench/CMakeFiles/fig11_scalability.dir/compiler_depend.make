@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_scalability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_throughput_dynamic.dir/fig12_throughput_dynamic.cpp.o"
+  "CMakeFiles/fig12_throughput_dynamic.dir/fig12_throughput_dynamic.cpp.o.d"
+  "fig12_throughput_dynamic"
+  "fig12_throughput_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_throughput_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_finishtime_dynamic.dir/fig13_finishtime_dynamic.cpp.o"
+  "CMakeFiles/fig13_finishtime_dynamic.dir/fig13_finishtime_dynamic.cpp.o.d"
+  "fig13_finishtime_dynamic"
+  "fig13_finishtime_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_finishtime_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

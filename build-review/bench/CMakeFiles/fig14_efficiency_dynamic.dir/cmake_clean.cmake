@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_efficiency_dynamic.dir/fig14_efficiency_dynamic.cpp.o"
+  "CMakeFiles/fig14_efficiency_dynamic.dir/fig14_efficiency_dynamic.cpp.o.d"
+  "fig14_efficiency_dynamic"
+  "fig14_efficiency_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_efficiency_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

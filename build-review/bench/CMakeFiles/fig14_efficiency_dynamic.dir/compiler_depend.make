@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_efficiency_dynamic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o"
+  "CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o.d"
+  "micro_benchmarks"
+  "micro_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_harness.dir/perf_harness.cpp.o"
+  "CMakeFiles/perf_harness.dir/perf_harness.cpp.o.d"
+  "perf_harness"
+  "perf_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

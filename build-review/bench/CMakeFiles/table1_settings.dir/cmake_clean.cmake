@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_settings.dir/table1_settings.cpp.o"
+  "CMakeFiles/table1_settings.dir/table1_settings.cpp.o.d"
+  "table1_settings"
+  "table1_settings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

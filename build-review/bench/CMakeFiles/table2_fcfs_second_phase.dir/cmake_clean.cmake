@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_fcfs_second_phase.dir/table2_fcfs_second_phase.cpp.o"
+  "CMakeFiles/table2_fcfs_second_phase.dir/table2_fcfs_second_phase.cpp.o.d"
+  "table2_fcfs_second_phase"
+  "table2_fcfs_second_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_fcfs_second_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

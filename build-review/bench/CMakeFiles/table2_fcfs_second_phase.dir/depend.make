@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_fcfs_second_phase.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_resilience.dir/churn_resilience.cpp.o"
+  "CMakeFiles/churn_resilience.dir/churn_resilience.cpp.o.d"
+  "churn_resilience"
+  "churn_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for churn_resilience.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristic_comparison.dir/heuristic_comparison.cpp.o"
+  "CMakeFiles/heuristic_comparison.dir/heuristic_comparison.cpp.o.d"
+  "heuristic_comparison"
+  "heuristic_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristic_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for heuristic_comparison.
+# This may be replaced when dependencies are built.

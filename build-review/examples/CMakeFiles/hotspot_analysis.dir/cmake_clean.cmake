@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_analysis.dir/hotspot_analysis.cpp.o"
+  "CMakeFiles/hotspot_analysis.dir/hotspot_analysis.cpp.o.d"
+  "hotspot_analysis"
+  "hotspot_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montage_pipeline.dir/montage_pipeline.cpp.o"
+  "CMakeFiles/montage_pipeline.dir/montage_pipeline.cpp.o.d"
+  "montage_pipeline"
+  "montage_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montage_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

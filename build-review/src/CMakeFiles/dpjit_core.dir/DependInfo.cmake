@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dispatch.cpp" "src/CMakeFiles/dpjit_core.dir/core/dispatch.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/core/dispatch.cpp.o.d"
+  "/root/repo/src/core/estimates.cpp" "src/CMakeFiles/dpjit_core.dir/core/estimates.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/core/estimates.cpp.o.d"
+  "/root/repo/src/core/fullahead/heft.cpp" "src/CMakeFiles/dpjit_core.dir/core/fullahead/heft.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/core/fullahead/heft.cpp.o.d"
+  "/root/repo/src/core/fullahead/lookahead.cpp" "src/CMakeFiles/dpjit_core.dir/core/fullahead/lookahead.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/core/fullahead/lookahead.cpp.o.d"
+  "/root/repo/src/core/fullahead/timeline.cpp" "src/CMakeFiles/dpjit_core.dir/core/fullahead/timeline.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/core/fullahead/timeline.cpp.o.d"
+  "/root/repo/src/core/grid_system.cpp" "src/CMakeFiles/dpjit_core.dir/core/grid_system.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/core/grid_system.cpp.o.d"
+  "/root/repo/src/core/policies/batch_heuristics.cpp" "src/CMakeFiles/dpjit_core.dir/core/policies/batch_heuristics.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/core/policies/batch_heuristics.cpp.o.d"
+  "/root/repo/src/core/policies/dheft.cpp" "src/CMakeFiles/dpjit_core.dir/core/policies/dheft.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/core/policies/dheft.cpp.o.d"
+  "/root/repo/src/core/policies/dsdf.cpp" "src/CMakeFiles/dpjit_core.dir/core/policies/dsdf.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/core/policies/dsdf.cpp.o.d"
+  "/root/repo/src/core/policies/dsmf.cpp" "src/CMakeFiles/dpjit_core.dir/core/policies/dsmf.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/core/policies/dsmf.cpp.o.d"
+  "/root/repo/src/core/policies/ready_policies.cpp" "src/CMakeFiles/dpjit_core.dir/core/policies/ready_policies.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/core/policies/ready_policies.cpp.o.d"
+  "/root/repo/src/core/policy_registry.cpp" "src/CMakeFiles/dpjit_core.dir/core/policy_registry.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/core/policy_registry.cpp.o.d"
+  "/root/repo/src/core/reschedule.cpp" "src/CMakeFiles/dpjit_core.dir/core/reschedule.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/core/reschedule.cpp.o.d"
+  "/root/repo/src/core/rpm.cpp" "src/CMakeFiles/dpjit_core.dir/core/rpm.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/core/rpm.cpp.o.d"
+  "/root/repo/src/dag/critical_path.cpp" "src/CMakeFiles/dpjit_core.dir/dag/critical_path.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/dag/critical_path.cpp.o.d"
+  "/root/repo/src/dag/dot.cpp" "src/CMakeFiles/dpjit_core.dir/dag/dot.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/dag/dot.cpp.o.d"
+  "/root/repo/src/dag/generator.cpp" "src/CMakeFiles/dpjit_core.dir/dag/generator.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/dag/generator.cpp.o.d"
+  "/root/repo/src/dag/serialize.cpp" "src/CMakeFiles/dpjit_core.dir/dag/serialize.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/dag/serialize.cpp.o.d"
+  "/root/repo/src/dag/templates.cpp" "src/CMakeFiles/dpjit_core.dir/dag/templates.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/dag/templates.cpp.o.d"
+  "/root/repo/src/dag/workflow.cpp" "src/CMakeFiles/dpjit_core.dir/dag/workflow.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/dag/workflow.cpp.o.d"
+  "/root/repo/src/exp/experiment.cpp" "src/CMakeFiles/dpjit_core.dir/exp/experiment.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/exp/experiment.cpp.o.d"
+  "/root/repo/src/exp/metrics.cpp" "src/CMakeFiles/dpjit_core.dir/exp/metrics.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/exp/metrics.cpp.o.d"
+  "/root/repo/src/exp/reporters.cpp" "src/CMakeFiles/dpjit_core.dir/exp/reporters.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/exp/reporters.cpp.o.d"
+  "/root/repo/src/exp/sweep.cpp" "src/CMakeFiles/dpjit_core.dir/exp/sweep.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/exp/sweep.cpp.o.d"
+  "/root/repo/src/exp/trace_analysis.cpp" "src/CMakeFiles/dpjit_core.dir/exp/trace_analysis.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/exp/trace_analysis.cpp.o.d"
+  "/root/repo/src/exp/workload_factory.cpp" "src/CMakeFiles/dpjit_core.dir/exp/workload_factory.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/exp/workload_factory.cpp.o.d"
+  "/root/repo/src/gossip/mixed_gossip.cpp" "src/CMakeFiles/dpjit_core.dir/gossip/mixed_gossip.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/gossip/mixed_gossip.cpp.o.d"
+  "/root/repo/src/gossip/newscast.cpp" "src/CMakeFiles/dpjit_core.dir/gossip/newscast.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/gossip/newscast.cpp.o.d"
+  "/root/repo/src/grid/churn.cpp" "src/CMakeFiles/dpjit_core.dir/grid/churn.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/grid/churn.cpp.o.d"
+  "/root/repo/src/grid/grid_node.cpp" "src/CMakeFiles/dpjit_core.dir/grid/grid_node.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/grid/grid_node.cpp.o.d"
+  "/root/repo/src/grid/transfer_manager.cpp" "src/CMakeFiles/dpjit_core.dir/grid/transfer_manager.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/grid/transfer_manager.cpp.o.d"
+  "/root/repo/src/net/flow_sharing.cpp" "src/CMakeFiles/dpjit_core.dir/net/flow_sharing.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/net/flow_sharing.cpp.o.d"
+  "/root/repo/src/net/landmark.cpp" "src/CMakeFiles/dpjit_core.dir/net/landmark.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/net/landmark.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/CMakeFiles/dpjit_core.dir/net/routing.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/net/routing.cpp.o.d"
+  "/root/repo/src/net/stats.cpp" "src/CMakeFiles/dpjit_core.dir/net/stats.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/net/stats.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/dpjit_core.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/net/topology.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/dpjit_core.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/dpjit_core.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/periodic.cpp" "src/CMakeFiles/dpjit_core.dir/sim/periodic.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/sim/periodic.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/dpjit_core.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/util/config.cpp" "src/CMakeFiles/dpjit_core.dir/util/config.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/util/config.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/dpjit_core.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/CMakeFiles/dpjit_core.dir/util/json.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/util/json.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/dpjit_core.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/parallel.cpp" "src/CMakeFiles/dpjit_core.dir/util/parallel.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/util/parallel.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/dpjit_core.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/dpjit_core.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table_printer.cpp" "src/CMakeFiles/dpjit_core.dir/util/table_printer.cpp.o" "gcc" "src/CMakeFiles/dpjit_core.dir/util/table_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpjit_core.a"
+)

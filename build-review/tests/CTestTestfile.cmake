@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("net")
+subdirs("dag")
+subdirs("gossip")
+subdirs("grid")
+subdirs("core")
+subdirs("exp")
+subdirs("integration")
+subdirs("build")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpjit_bench_common_compiles.dir/bench_common_standalone.cpp.o"
+  "CMakeFiles/dpjit_bench_common_compiles.dir/bench_common_standalone.cpp.o.d"
+  "dpjit_bench_common_compiles"
+  "dpjit_bench_common_compiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpjit_bench_common_compiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

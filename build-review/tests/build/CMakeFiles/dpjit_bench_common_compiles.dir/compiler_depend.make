@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dpjit_bench_common_compiles.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for dpjit_bench_common_compiles.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/build/odr_test.cpp" "tests/build/CMakeFiles/dpjit_odr_test.dir/odr_test.cpp.o" "gcc" "tests/build/CMakeFiles/dpjit_odr_test.dir/odr_test.cpp.o.d"
+  "/root/repo/tests/build/odr_tu_a.cpp" "tests/build/CMakeFiles/dpjit_odr_test.dir/odr_tu_a.cpp.o" "gcc" "tests/build/CMakeFiles/dpjit_odr_test.dir/odr_tu_a.cpp.o.d"
+  "/root/repo/tests/build/odr_tu_b.cpp" "tests/build/CMakeFiles/dpjit_odr_test.dir/odr_tu_b.cpp.o" "gcc" "tests/build/CMakeFiles/dpjit_odr_test.dir/odr_tu_b.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/dpjit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

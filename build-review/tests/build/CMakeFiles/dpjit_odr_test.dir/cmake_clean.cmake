@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpjit_odr_test.dir/odr_test.cpp.o"
+  "CMakeFiles/dpjit_odr_test.dir/odr_test.cpp.o.d"
+  "CMakeFiles/dpjit_odr_test.dir/odr_tu_a.cpp.o"
+  "CMakeFiles/dpjit_odr_test.dir/odr_tu_a.cpp.o.d"
+  "CMakeFiles/dpjit_odr_test.dir/odr_tu_b.cpp.o"
+  "CMakeFiles/dpjit_odr_test.dir/odr_tu_b.cpp.o.d"
+  "dpjit_odr_test"
+  "dpjit_odr_test.pdb"
+  "dpjit_odr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpjit_odr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

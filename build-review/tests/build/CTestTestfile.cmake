@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/build
+# Build directory: /root/repo/build-review/tests/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/build/dpjit_odr_test[1]_include.cmake")
+add_test([=[build.bench_common_standalone]=] "/root/repo/build-review/tests/build/dpjit_bench_common_compiles")
+set_tests_properties([=[build.bench_common_standalone]=] PROPERTIES  LABELS "build" _BACKTRACE_TRIPLES "/root/repo/tests/build/CMakeLists.txt;20;add_test;/root/repo/tests/build/CMakeLists.txt;0;")

@@ -1,0 +1,3 @@
+add_test([=[OdrTest.BothTranslationUnitsLink]=]  /root/repo/build-review/tests/build/dpjit_odr_test [==[--gtest_filter=OdrTest.BothTranslationUnitsLink]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[OdrTest.BothTranslationUnitsLink]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-review/tests/build SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] LABELS build)
+set(  dpjit_odr_test_TESTS OdrTest.BothTranslationUnitsLink)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/estimates_test.cpp" "tests/core/CMakeFiles/dpjit_core_tests.dir/estimates_test.cpp.o" "gcc" "tests/core/CMakeFiles/dpjit_core_tests.dir/estimates_test.cpp.o.d"
+  "/root/repo/tests/core/fig3_test.cpp" "tests/core/CMakeFiles/dpjit_core_tests.dir/fig3_test.cpp.o" "gcc" "tests/core/CMakeFiles/dpjit_core_tests.dir/fig3_test.cpp.o.d"
+  "/root/repo/tests/core/first_phase_test.cpp" "tests/core/CMakeFiles/dpjit_core_tests.dir/first_phase_test.cpp.o" "gcc" "tests/core/CMakeFiles/dpjit_core_tests.dir/first_phase_test.cpp.o.d"
+  "/root/repo/tests/core/fullahead_test.cpp" "tests/core/CMakeFiles/dpjit_core_tests.dir/fullahead_test.cpp.o" "gcc" "tests/core/CMakeFiles/dpjit_core_tests.dir/fullahead_test.cpp.o.d"
+  "/root/repo/tests/core/grid_system_test.cpp" "tests/core/CMakeFiles/dpjit_core_tests.dir/grid_system_test.cpp.o" "gcc" "tests/core/CMakeFiles/dpjit_core_tests.dir/grid_system_test.cpp.o.d"
+  "/root/repo/tests/core/ready_policies_test.cpp" "tests/core/CMakeFiles/dpjit_core_tests.dir/ready_policies_test.cpp.o" "gcc" "tests/core/CMakeFiles/dpjit_core_tests.dir/ready_policies_test.cpp.o.d"
+  "/root/repo/tests/core/registry_test.cpp" "tests/core/CMakeFiles/dpjit_core_tests.dir/registry_test.cpp.o" "gcc" "tests/core/CMakeFiles/dpjit_core_tests.dir/registry_test.cpp.o.d"
+  "/root/repo/tests/core/rpm_test.cpp" "tests/core/CMakeFiles/dpjit_core_tests.dir/rpm_test.cpp.o" "gcc" "tests/core/CMakeFiles/dpjit_core_tests.dir/rpm_test.cpp.o.d"
+  "/root/repo/tests/core/timeline_test.cpp" "tests/core/CMakeFiles/dpjit_core_tests.dir/timeline_test.cpp.o" "gcc" "tests/core/CMakeFiles/dpjit_core_tests.dir/timeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/dpjit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

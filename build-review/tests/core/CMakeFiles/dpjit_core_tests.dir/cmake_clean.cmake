@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpjit_core_tests.dir/estimates_test.cpp.o"
+  "CMakeFiles/dpjit_core_tests.dir/estimates_test.cpp.o.d"
+  "CMakeFiles/dpjit_core_tests.dir/fig3_test.cpp.o"
+  "CMakeFiles/dpjit_core_tests.dir/fig3_test.cpp.o.d"
+  "CMakeFiles/dpjit_core_tests.dir/first_phase_test.cpp.o"
+  "CMakeFiles/dpjit_core_tests.dir/first_phase_test.cpp.o.d"
+  "CMakeFiles/dpjit_core_tests.dir/fullahead_test.cpp.o"
+  "CMakeFiles/dpjit_core_tests.dir/fullahead_test.cpp.o.d"
+  "CMakeFiles/dpjit_core_tests.dir/grid_system_test.cpp.o"
+  "CMakeFiles/dpjit_core_tests.dir/grid_system_test.cpp.o.d"
+  "CMakeFiles/dpjit_core_tests.dir/ready_policies_test.cpp.o"
+  "CMakeFiles/dpjit_core_tests.dir/ready_policies_test.cpp.o.d"
+  "CMakeFiles/dpjit_core_tests.dir/registry_test.cpp.o"
+  "CMakeFiles/dpjit_core_tests.dir/registry_test.cpp.o.d"
+  "CMakeFiles/dpjit_core_tests.dir/rpm_test.cpp.o"
+  "CMakeFiles/dpjit_core_tests.dir/rpm_test.cpp.o.d"
+  "CMakeFiles/dpjit_core_tests.dir/timeline_test.cpp.o"
+  "CMakeFiles/dpjit_core_tests.dir/timeline_test.cpp.o.d"
+  "dpjit_core_tests"
+  "dpjit_core_tests.pdb"
+  "dpjit_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpjit_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dag/critical_path_test.cpp" "tests/dag/CMakeFiles/dpjit_dag_tests.dir/critical_path_test.cpp.o" "gcc" "tests/dag/CMakeFiles/dpjit_dag_tests.dir/critical_path_test.cpp.o.d"
+  "/root/repo/tests/dag/generator_test.cpp" "tests/dag/CMakeFiles/dpjit_dag_tests.dir/generator_test.cpp.o" "gcc" "tests/dag/CMakeFiles/dpjit_dag_tests.dir/generator_test.cpp.o.d"
+  "/root/repo/tests/dag/serialize_test.cpp" "tests/dag/CMakeFiles/dpjit_dag_tests.dir/serialize_test.cpp.o" "gcc" "tests/dag/CMakeFiles/dpjit_dag_tests.dir/serialize_test.cpp.o.d"
+  "/root/repo/tests/dag/templates_test.cpp" "tests/dag/CMakeFiles/dpjit_dag_tests.dir/templates_test.cpp.o" "gcc" "tests/dag/CMakeFiles/dpjit_dag_tests.dir/templates_test.cpp.o.d"
+  "/root/repo/tests/dag/workflow_test.cpp" "tests/dag/CMakeFiles/dpjit_dag_tests.dir/workflow_test.cpp.o" "gcc" "tests/dag/CMakeFiles/dpjit_dag_tests.dir/workflow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/dpjit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpjit_dag_tests.dir/critical_path_test.cpp.o"
+  "CMakeFiles/dpjit_dag_tests.dir/critical_path_test.cpp.o.d"
+  "CMakeFiles/dpjit_dag_tests.dir/generator_test.cpp.o"
+  "CMakeFiles/dpjit_dag_tests.dir/generator_test.cpp.o.d"
+  "CMakeFiles/dpjit_dag_tests.dir/serialize_test.cpp.o"
+  "CMakeFiles/dpjit_dag_tests.dir/serialize_test.cpp.o.d"
+  "CMakeFiles/dpjit_dag_tests.dir/templates_test.cpp.o"
+  "CMakeFiles/dpjit_dag_tests.dir/templates_test.cpp.o.d"
+  "CMakeFiles/dpjit_dag_tests.dir/workflow_test.cpp.o"
+  "CMakeFiles/dpjit_dag_tests.dir/workflow_test.cpp.o.d"
+  "dpjit_dag_tests"
+  "dpjit_dag_tests.pdb"
+  "dpjit_dag_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpjit_dag_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

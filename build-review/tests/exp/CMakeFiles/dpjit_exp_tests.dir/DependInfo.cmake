@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exp/reporters_test.cpp" "tests/exp/CMakeFiles/dpjit_exp_tests.dir/reporters_test.cpp.o" "gcc" "tests/exp/CMakeFiles/dpjit_exp_tests.dir/reporters_test.cpp.o.d"
+  "/root/repo/tests/exp/sweep_determinism_test.cpp" "tests/exp/CMakeFiles/dpjit_exp_tests.dir/sweep_determinism_test.cpp.o" "gcc" "tests/exp/CMakeFiles/dpjit_exp_tests.dir/sweep_determinism_test.cpp.o.d"
+  "/root/repo/tests/exp/trace_analysis_test.cpp" "tests/exp/CMakeFiles/dpjit_exp_tests.dir/trace_analysis_test.cpp.o" "gcc" "tests/exp/CMakeFiles/dpjit_exp_tests.dir/trace_analysis_test.cpp.o.d"
+  "/root/repo/tests/exp/workload_factory_test.cpp" "tests/exp/CMakeFiles/dpjit_exp_tests.dir/workload_factory_test.cpp.o" "gcc" "tests/exp/CMakeFiles/dpjit_exp_tests.dir/workload_factory_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/dpjit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

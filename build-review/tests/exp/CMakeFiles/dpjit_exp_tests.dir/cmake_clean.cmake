@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpjit_exp_tests.dir/reporters_test.cpp.o"
+  "CMakeFiles/dpjit_exp_tests.dir/reporters_test.cpp.o.d"
+  "CMakeFiles/dpjit_exp_tests.dir/sweep_determinism_test.cpp.o"
+  "CMakeFiles/dpjit_exp_tests.dir/sweep_determinism_test.cpp.o.d"
+  "CMakeFiles/dpjit_exp_tests.dir/trace_analysis_test.cpp.o"
+  "CMakeFiles/dpjit_exp_tests.dir/trace_analysis_test.cpp.o.d"
+  "CMakeFiles/dpjit_exp_tests.dir/workload_factory_test.cpp.o"
+  "CMakeFiles/dpjit_exp_tests.dir/workload_factory_test.cpp.o.d"
+  "dpjit_exp_tests"
+  "dpjit_exp_tests.pdb"
+  "dpjit_exp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpjit_exp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpjit_gossip_tests.dir/mixed_gossip_test.cpp.o"
+  "CMakeFiles/dpjit_gossip_tests.dir/mixed_gossip_test.cpp.o.d"
+  "CMakeFiles/dpjit_gossip_tests.dir/view_test.cpp.o"
+  "CMakeFiles/dpjit_gossip_tests.dir/view_test.cpp.o.d"
+  "dpjit_gossip_tests"
+  "dpjit_gossip_tests.pdb"
+  "dpjit_gossip_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpjit_gossip_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/grid/churn_test.cpp" "tests/grid/CMakeFiles/dpjit_grid_tests.dir/churn_test.cpp.o" "gcc" "tests/grid/CMakeFiles/dpjit_grid_tests.dir/churn_test.cpp.o.d"
+  "/root/repo/tests/grid/grid_node_test.cpp" "tests/grid/CMakeFiles/dpjit_grid_tests.dir/grid_node_test.cpp.o" "gcc" "tests/grid/CMakeFiles/dpjit_grid_tests.dir/grid_node_test.cpp.o.d"
+  "/root/repo/tests/grid/transfer_stress_test.cpp" "tests/grid/CMakeFiles/dpjit_grid_tests.dir/transfer_stress_test.cpp.o" "gcc" "tests/grid/CMakeFiles/dpjit_grid_tests.dir/transfer_stress_test.cpp.o.d"
+  "/root/repo/tests/grid/transfer_test.cpp" "tests/grid/CMakeFiles/dpjit_grid_tests.dir/transfer_test.cpp.o" "gcc" "tests/grid/CMakeFiles/dpjit_grid_tests.dir/transfer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/dpjit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpjit_grid_tests.dir/churn_test.cpp.o"
+  "CMakeFiles/dpjit_grid_tests.dir/churn_test.cpp.o.d"
+  "CMakeFiles/dpjit_grid_tests.dir/grid_node_test.cpp.o"
+  "CMakeFiles/dpjit_grid_tests.dir/grid_node_test.cpp.o.d"
+  "CMakeFiles/dpjit_grid_tests.dir/transfer_stress_test.cpp.o"
+  "CMakeFiles/dpjit_grid_tests.dir/transfer_stress_test.cpp.o.d"
+  "CMakeFiles/dpjit_grid_tests.dir/transfer_test.cpp.o"
+  "CMakeFiles/dpjit_grid_tests.dir/transfer_test.cpp.o.d"
+  "dpjit_grid_tests"
+  "dpjit_grid_tests.pdb"
+  "dpjit_grid_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpjit_grid_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/grid
+# Build directory: /root/repo/build-review/tests/grid
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/grid/dpjit_grid_tests[1]_include.cmake")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/churn_integration_test.cpp" "tests/integration/CMakeFiles/dpjit_integration_tests.dir/churn_integration_test.cpp.o" "gcc" "tests/integration/CMakeFiles/dpjit_integration_tests.dir/churn_integration_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/integration/CMakeFiles/dpjit_integration_tests.dir/end_to_end_test.cpp.o" "gcc" "tests/integration/CMakeFiles/dpjit_integration_tests.dir/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/invariants_test.cpp" "tests/integration/CMakeFiles/dpjit_integration_tests.dir/invariants_test.cpp.o" "gcc" "tests/integration/CMakeFiles/dpjit_integration_tests.dir/invariants_test.cpp.o.d"
+  "/root/repo/tests/integration/metrics_test.cpp" "tests/integration/CMakeFiles/dpjit_integration_tests.dir/metrics_test.cpp.o" "gcc" "tests/integration/CMakeFiles/dpjit_integration_tests.dir/metrics_test.cpp.o.d"
+  "/root/repo/tests/integration/property_test.cpp" "tests/integration/CMakeFiles/dpjit_integration_tests.dir/property_test.cpp.o" "gcc" "tests/integration/CMakeFiles/dpjit_integration_tests.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/dpjit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

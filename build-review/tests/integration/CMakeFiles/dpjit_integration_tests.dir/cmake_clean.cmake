@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpjit_integration_tests.dir/churn_integration_test.cpp.o"
+  "CMakeFiles/dpjit_integration_tests.dir/churn_integration_test.cpp.o.d"
+  "CMakeFiles/dpjit_integration_tests.dir/end_to_end_test.cpp.o"
+  "CMakeFiles/dpjit_integration_tests.dir/end_to_end_test.cpp.o.d"
+  "CMakeFiles/dpjit_integration_tests.dir/invariants_test.cpp.o"
+  "CMakeFiles/dpjit_integration_tests.dir/invariants_test.cpp.o.d"
+  "CMakeFiles/dpjit_integration_tests.dir/metrics_test.cpp.o"
+  "CMakeFiles/dpjit_integration_tests.dir/metrics_test.cpp.o.d"
+  "CMakeFiles/dpjit_integration_tests.dir/property_test.cpp.o"
+  "CMakeFiles/dpjit_integration_tests.dir/property_test.cpp.o.d"
+  "dpjit_integration_tests"
+  "dpjit_integration_tests.pdb"
+  "dpjit_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpjit_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/flow_sharing_test.cpp" "tests/net/CMakeFiles/dpjit_net_tests.dir/flow_sharing_test.cpp.o" "gcc" "tests/net/CMakeFiles/dpjit_net_tests.dir/flow_sharing_test.cpp.o.d"
+  "/root/repo/tests/net/landmark_test.cpp" "tests/net/CMakeFiles/dpjit_net_tests.dir/landmark_test.cpp.o" "gcc" "tests/net/CMakeFiles/dpjit_net_tests.dir/landmark_test.cpp.o.d"
+  "/root/repo/tests/net/routing_test.cpp" "tests/net/CMakeFiles/dpjit_net_tests.dir/routing_test.cpp.o" "gcc" "tests/net/CMakeFiles/dpjit_net_tests.dir/routing_test.cpp.o.d"
+  "/root/repo/tests/net/stats_test.cpp" "tests/net/CMakeFiles/dpjit_net_tests.dir/stats_test.cpp.o" "gcc" "tests/net/CMakeFiles/dpjit_net_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/net/topology_test.cpp" "tests/net/CMakeFiles/dpjit_net_tests.dir/topology_test.cpp.o" "gcc" "tests/net/CMakeFiles/dpjit_net_tests.dir/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/dpjit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpjit_net_tests.dir/flow_sharing_test.cpp.o"
+  "CMakeFiles/dpjit_net_tests.dir/flow_sharing_test.cpp.o.d"
+  "CMakeFiles/dpjit_net_tests.dir/landmark_test.cpp.o"
+  "CMakeFiles/dpjit_net_tests.dir/landmark_test.cpp.o.d"
+  "CMakeFiles/dpjit_net_tests.dir/routing_test.cpp.o"
+  "CMakeFiles/dpjit_net_tests.dir/routing_test.cpp.o.d"
+  "CMakeFiles/dpjit_net_tests.dir/stats_test.cpp.o"
+  "CMakeFiles/dpjit_net_tests.dir/stats_test.cpp.o.d"
+  "CMakeFiles/dpjit_net_tests.dir/topology_test.cpp.o"
+  "CMakeFiles/dpjit_net_tests.dir/topology_test.cpp.o.d"
+  "dpjit_net_tests"
+  "dpjit_net_tests.pdb"
+  "dpjit_net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpjit_net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/engine_test.cpp" "tests/sim/CMakeFiles/dpjit_sim_tests.dir/engine_test.cpp.o" "gcc" "tests/sim/CMakeFiles/dpjit_sim_tests.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/sim/CMakeFiles/dpjit_sim_tests.dir/event_queue_test.cpp.o" "gcc" "tests/sim/CMakeFiles/dpjit_sim_tests.dir/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/inline_fn_test.cpp" "tests/sim/CMakeFiles/dpjit_sim_tests.dir/inline_fn_test.cpp.o" "gcc" "tests/sim/CMakeFiles/dpjit_sim_tests.dir/inline_fn_test.cpp.o.d"
+  "/root/repo/tests/sim/periodic_test.cpp" "tests/sim/CMakeFiles/dpjit_sim_tests.dir/periodic_test.cpp.o" "gcc" "tests/sim/CMakeFiles/dpjit_sim_tests.dir/periodic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/dpjit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpjit_sim_tests.dir/engine_test.cpp.o"
+  "CMakeFiles/dpjit_sim_tests.dir/engine_test.cpp.o.d"
+  "CMakeFiles/dpjit_sim_tests.dir/event_queue_test.cpp.o"
+  "CMakeFiles/dpjit_sim_tests.dir/event_queue_test.cpp.o.d"
+  "CMakeFiles/dpjit_sim_tests.dir/inline_fn_test.cpp.o"
+  "CMakeFiles/dpjit_sim_tests.dir/inline_fn_test.cpp.o.d"
+  "CMakeFiles/dpjit_sim_tests.dir/periodic_test.cpp.o"
+  "CMakeFiles/dpjit_sim_tests.dir/periodic_test.cpp.o.d"
+  "dpjit_sim_tests"
+  "dpjit_sim_tests.pdb"
+  "dpjit_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpjit_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

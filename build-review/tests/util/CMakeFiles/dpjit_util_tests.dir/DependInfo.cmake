@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/config_test.cpp" "tests/util/CMakeFiles/dpjit_util_tests.dir/config_test.cpp.o" "gcc" "tests/util/CMakeFiles/dpjit_util_tests.dir/config_test.cpp.o.d"
+  "/root/repo/tests/util/csv_table_test.cpp" "tests/util/CMakeFiles/dpjit_util_tests.dir/csv_table_test.cpp.o" "gcc" "tests/util/CMakeFiles/dpjit_util_tests.dir/csv_table_test.cpp.o.d"
+  "/root/repo/tests/util/json_test.cpp" "tests/util/CMakeFiles/dpjit_util_tests.dir/json_test.cpp.o" "gcc" "tests/util/CMakeFiles/dpjit_util_tests.dir/json_test.cpp.o.d"
+  "/root/repo/tests/util/parallel_test.cpp" "tests/util/CMakeFiles/dpjit_util_tests.dir/parallel_test.cpp.o" "gcc" "tests/util/CMakeFiles/dpjit_util_tests.dir/parallel_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/util/CMakeFiles/dpjit_util_tests.dir/rng_test.cpp.o" "gcc" "tests/util/CMakeFiles/dpjit_util_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/util/CMakeFiles/dpjit_util_tests.dir/stats_test.cpp.o" "gcc" "tests/util/CMakeFiles/dpjit_util_tests.dir/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/dpjit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpjit_util_tests.dir/config_test.cpp.o"
+  "CMakeFiles/dpjit_util_tests.dir/config_test.cpp.o.d"
+  "CMakeFiles/dpjit_util_tests.dir/csv_table_test.cpp.o"
+  "CMakeFiles/dpjit_util_tests.dir/csv_table_test.cpp.o.d"
+  "CMakeFiles/dpjit_util_tests.dir/json_test.cpp.o"
+  "CMakeFiles/dpjit_util_tests.dir/json_test.cpp.o.d"
+  "CMakeFiles/dpjit_util_tests.dir/parallel_test.cpp.o"
+  "CMakeFiles/dpjit_util_tests.dir/parallel_test.cpp.o.d"
+  "CMakeFiles/dpjit_util_tests.dir/rng_test.cpp.o"
+  "CMakeFiles/dpjit_util_tests.dir/rng_test.cpp.o.d"
+  "CMakeFiles/dpjit_util_tests.dir/stats_test.cpp.o"
+  "CMakeFiles/dpjit_util_tests.dir/stats_test.cpp.o.d"
+  "dpjit_util_tests"
+  "dpjit_util_tests.pdb"
+  "dpjit_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpjit_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
