@@ -14,6 +14,7 @@
 
 #include "core/policy_registry.hpp"
 #include "exp/reporters.hpp"
+#include "exp/scenario.hpp"
 #include "exp/sweep.hpp"
 #include "util/config.hpp"
 #include "util/table_printer.hpp"
@@ -32,6 +33,23 @@ inline exp::ExperimentConfig base_config(const util::Config& cli, int default_no
   cfg.workflows_per_node = static_cast<int>(cli.get_int("workflows", 3));
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   cfg.system.horizon_s = cli.get_double("hours", 36.0) * 3600.0;
+  return cfg;
+}
+
+/// The registry-backed replacement for base_config: starts from a named
+/// scenario of exp::scenario_registry(), optionally drops to a per-binary
+/// reduced bench scale, then applies the common CLI overrides
+/// (--paper/--nodes/--workflows/--seed/--hours) exactly like base_config.
+inline exp::ExperimentConfig scenario_config(const util::Config& cli, std::string_view scenario,
+                                             int bench_scale_nodes = 0) {
+  exp::ExperimentConfig cfg = exp::scenario_registry().at(scenario).config();
+  if (bench_scale_nodes > 0) cfg.nodes = bench_scale_nodes;
+  if (cli.get_bool("paper", false)) cfg.nodes = 1000;
+  cfg.nodes = static_cast<int>(cli.get_int("nodes", cfg.nodes));
+  cfg.workflows_per_node =
+      static_cast<int>(cli.get_int("workflows", cfg.workflows_per_node));
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+  cfg.system.horizon_s = cli.get_double("hours", cfg.system.horizon_s / 3600.0) * 3600.0;
   return cfg;
 }
 

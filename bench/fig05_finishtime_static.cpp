@@ -9,7 +9,7 @@
 int main(int argc, char** argv) {
   using namespace dpjit;
   const auto cli = util::Config::from_args(argc, argv);
-  const auto base = bench::base_config(cli, 200);
+  const auto base = bench::scenario_config(cli, "paper/static-n200");
   bench::banner("Fig. 5: average finish-time of workflows, static P2P grid", base);
 
   const auto results = bench::run_all_algorithms(base);

@@ -8,7 +8,7 @@
 int main(int argc, char** argv) {
   using namespace dpjit;
   const auto cli = util::Config::from_args(argc, argv);
-  auto base = bench::base_config(cli, 100);
+  auto base = bench::scenario_config(cli, "paper/static-n1000", /*bench_scale_nodes=*/100);
   bench::banner("Fig. 7: average finish-time vs load factor", base);
 
   const int max_lf = static_cast<int>(cli.get_int("max-load-factor", 8));

@@ -2,29 +2,28 @@
 #include "bench_common.hpp"
 
 namespace {
+// Same registered ccr/* scenarios and row labels as fig09.
 struct CcrCase {
+  const char* scenario;
   const char* label;
-  double load_lo, load_hi, data_lo, data_hi;
 };
 constexpr CcrCase kCases[] = {
-    {"load:10-1000/data:10-1000", 10, 1000, 10, 1000},
-    {"load:10-1000/data:100-10000", 10, 1000, 100, 10000},
-    {"load:100-10000/data:10-1000", 100, 10000, 10, 1000},
-    {"load:100-10000/data:100-10000", 100, 10000, 100, 10000},
+    {"ccr/balanced-light", "load:10-1000/data:10-1000"},
+    {"ccr/data-heavy", "load:10-1000/data:100-10000"},
+    {"ccr/compute-heavy", "load:100-10000/data:10-1000"},
+    {"ccr/balanced-heavy", "load:100-10000/data:100-10000"},
 };
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dpjit;
   const auto cli = util::Config::from_args(argc, argv);
-  auto base = bench::base_config(cli, 150);
+  auto base = bench::scenario_config(cli, "paper/static-n1000", /*bench_scale_nodes=*/150);
   bench::banner("Fig. 10: average efficiency under different CCRs", base);
 
   std::vector<exp::ExperimentConfig> configs;
   for (const auto& c : kCases) {
-    exp::ExperimentConfig cfg = base;
-    cfg.set_load_range(c.load_lo, c.load_hi);
-    cfg.set_data_range(c.data_lo, c.data_hi);
+    const auto cfg = exp::scenario_registry().at(c.scenario).apply(base);
     for (auto& one : exp::across_algorithms(cfg)) configs.push_back(one);
   }
   const int seeds = static_cast<int>(cli.get_int("seeds", 1));

@@ -8,7 +8,7 @@
 int main(int argc, char** argv) {
   using namespace dpjit;
   const auto cli = util::Config::from_args(argc, argv);
-  auto base = bench::base_config(cli, 100);
+  auto base = bench::scenario_config(cli, "paper/static-n1000", /*bench_scale_nodes=*/100);
   bench::banner("Fig. 11: system scalability of DSMF", base);
   base.algorithm = cli.get_string("algorithm", "dsmf");
 

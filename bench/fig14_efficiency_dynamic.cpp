@@ -7,19 +7,22 @@
 int main(int argc, char** argv) {
   using namespace dpjit;
   const auto cli = util::Config::from_args(argc, argv);
-  auto base = bench::base_config(cli, 200);
+  auto base = bench::scenario_config(cli, "paper/static-n1000", /*bench_scale_nodes=*/200);
   base.algorithm = cli.get_string("algorithm", "dsmf");
   base.reschedule = cli.get_bool("reschedule", false);
   base.system.home_keeps_outputs = !cli.get_bool("no-result-collection", false);
   bench::banner("Fig. 14: average efficiency of DSMF in dynamic environment", base);
 
+  // df = 0 is the static base; the dynamic factors come from the registered
+  // paper/dynamic-* scenarios applied to the same base.
   std::vector<exp::ExperimentConfig> configs;
   std::vector<std::string> labels;
-  for (double df : {0.0, 0.1, 0.2, 0.3, 0.4}) {
-    exp::ExperimentConfig cfg = base;
-    cfg.dynamic_factor = df;
+  configs.push_back(base);
+  labels.push_back("df=" + util::TablePrinter::fmt(0.0, 2));
+  for (const auto* scenario : exp::scenario_registry().family("paper/dynamic-")) {
+    const auto cfg = scenario->apply(base);
     configs.push_back(cfg);
-    labels.push_back("df=" + util::TablePrinter::fmt(df, 2));
+    labels.push_back("df=" + util::TablePrinter::fmt(cfg.dynamic_factor, 2));
   }
   std::fprintf(stderr, "running %zu dynamic factors...\n", configs.size());
   const auto results = exp::run_sweep(configs);

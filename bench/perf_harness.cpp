@@ -167,25 +167,6 @@ double bench_schedule_cancel_pop(std::size_t ops, std::uint64_t& sink) {
   return static_cast<double>(ops) / dt / 1e6;
 }
 
-/// FNV-1a over the bit patterns of the result's headline metrics: a cheap
-/// fingerprint for "the refactor did not change simulation output".
-std::uint64_t result_digest(const dpjit::exp::ExperimentResult& r) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ULL;
-  };
-  mix(std::bit_cast<std::uint64_t>(r.act));
-  mix(std::bit_cast<std::uint64_t>(r.ae));
-  mix(std::bit_cast<std::uint64_t>(r.mean_response));
-  mix(r.workflows_finished);
-  mix(r.tasks_dispatched);
-  mix(r.tasks_failed);
-  mix(r.gossip_messages);
-  mix(r.events_processed);
-  return h;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -278,7 +259,7 @@ int main(int argc, char** argv) {
     w.kv("workflows_finished", static_cast<std::uint64_t>(result.workflows_finished));
     w.kv("act", result.act);
     w.kv("ae", result.ae);
-    w.kv("result_digest", result_digest(result));
+    w.kv("result_digest", exp::result_digest(result));
     w.end_object();
     w.end_object();
   }

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "exp/reporters.hpp"
+#include "exp/scenario.hpp"
 #include "exp/sweep.hpp"
 #include "util/config.hpp"
 #include "util/table_printer.hpp"
@@ -24,18 +25,29 @@ int main(int argc, char** argv) {
   base.seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
   base.system.horizon_s = cli.get_double("hours", 18.0) * 3600.0;
 
+  // The dynamic environments come from the scenario registry; "" is the
+  // static base. The correlated-waves scenario shows what a flash outage
+  // every 4th interval does on top of df=0.1.
+  const auto& registry = exp::scenario_registry();
   std::vector<exp::ExperimentConfig> configs;
   std::vector<std::string> labels;
-  for (double df : {0.0, 0.1, 0.2, 0.4}) {
+  for (const char* name :
+       {"", "paper/dynamic-df10", "paper/dynamic-df20", "paper/dynamic-df40"}) {
     for (bool resched : {false, true}) {
-      if (df == 0.0 && resched) continue;  // rescheduling is a no-op without churn
-      exp::ExperimentConfig cfg = base;
-      cfg.dynamic_factor = df;
+      if (*name == '\0' && resched) continue;  // rescheduling is a no-op without churn
+      exp::ExperimentConfig cfg = *name == '\0' ? base : registry.at(name).apply(base);
+      cfg.nodes = base.nodes;  // keep the interactive scale, not the scenario's
       cfg.reschedule = resched;
       configs.push_back(cfg);
-      labels.push_back("df=" + util::TablePrinter::fmt(df, 2) +
+      labels.push_back("df=" + util::TablePrinter::fmt(cfg.dynamic_factor, 2) +
                        (resched ? "+resched" : ""));
     }
+  }
+  {
+    exp::ExperimentConfig cfg = registry.at("churn/correlated-waves").apply(base);
+    cfg.nodes = base.nodes;
+    configs.push_back(cfg);
+    labels.push_back("df=0.10+waves");
   }
 
   std::cout << "churn resilience: " << base.nodes << " peers (" << base.nodes / 2

@@ -1,10 +1,12 @@
 // Head-to-head of all eight scheduling algorithms on one workload - a small-
 // scale interactive version of the paper's Figs. 4-6.
 //
-//   ./heuristic_comparison [--nodes=128] [--workflows=3] [--hours=36] [--csv]
+//   ./heuristic_comparison [--scenario=paper/static-n200] [--nodes=128]
+//                          [--workflows=3] [--hours=36] [--csv]
 #include <iostream>
 
 #include "exp/reporters.hpp"
+#include "exp/scenario.hpp"
 #include "exp/sweep.hpp"
 #include "util/config.hpp"
 
@@ -12,14 +14,17 @@ int main(int argc, char** argv) {
   using namespace dpjit;
   const auto cli = util::Config::from_args(argc, argv);
 
-  exp::ExperimentConfig base;
+  // Any registered scenario works as the common workload for the head-to-head
+  // (e.g. --scenario=tail/heavy-tailed-loads compares under heavy tails).
+  const auto scenario = cli.get_string("scenario", "paper/static-n200");
+  exp::ExperimentConfig base = exp::scenario_registry().at(scenario).config();
   base.nodes = static_cast<int>(cli.get_int("nodes", 128));
   base.workflows_per_node = static_cast<int>(cli.get_int("workflows", 3));
   base.seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
   base.system.horizon_s = cli.get_double("hours", 36.0) * 3600.0;
 
   std::cout << "comparing the paper's eight algorithms on " << base.nodes << " peers, "
-            << base.workflows_per_node << " workflows/node\n\n";
+            << base.workflows_per_node << " workflows/node (scenario " << scenario << ")\n\n";
 
   const auto results = exp::run_sweep(exp::across_algorithms(base));
 

@@ -4,9 +4,11 @@
 // the node-level view behind the paper's hotspot-mitigation argument
 // (Section III.D).
 //
-//   ./hotspot_analysis [--nodes=48] [--workflows=3] [--a=dsmf] [--b=dheft]
+//   ./hotspot_analysis [--scenario=paper/static-n200] [--nodes=48]
+//                      [--workflows=3] [--a=dsmf] [--b=dheft]
 #include <iostream>
 
+#include "exp/scenario.hpp"
 #include "exp/trace_analysis.hpp"
 #include "exp/workload_factory.hpp"
 #include "util/config.hpp"
@@ -29,7 +31,10 @@ int main(int argc, char** argv) {
   using namespace dpjit;
   const auto cli = util::Config::from_args(argc, argv);
 
-  exp::ExperimentConfig cfg;
+  // The workload shape comes from a registered scenario (the heavy-tailed and
+  // mixed-template scenarios give very different hotspot pictures).
+  exp::ExperimentConfig cfg =
+      exp::scenario_registry().at(cli.get_string("scenario", "paper/static-n200")).config();
   cfg.nodes = static_cast<int>(cli.get_int("nodes", 48));
   cfg.workflows_per_node = static_cast<int>(cli.get_int("workflows", 3));
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 23));

@@ -1,25 +1,30 @@
 // Quickstart: build a small P2P grid, submit a handful of random scientific
 // workflows, schedule them with DSMF and print what happened.
 //
-//   ./quickstart [--nodes=64] [--workflows=3] [--algorithm=dsmf] [--seed=7]
+//   ./quickstart [--scenario=paper/static-n200] [--nodes=64] [--workflows=3]
+//                [--algorithm=dsmf] [--seed=7]
 #include <iostream>
 
-#include "exp/experiment.hpp"
 #include "exp/reporters.hpp"
+#include "exp/scenario.hpp"
 #include "util/config.hpp"
 
 int main(int argc, char** argv) {
   const auto cli = dpjit::util::Config::from_args(argc, argv);
 
-  dpjit::exp::ExperimentConfig cfg;
+  // Start from a registered scenario (see `scenario_runner --list`), then
+  // shrink to an interactive scale.
+  const auto scenario = cli.get_string("scenario", "paper/static-n200");
+  dpjit::exp::ExperimentConfig cfg = dpjit::exp::scenario_registry().at(scenario).config();
   cfg.nodes = static_cast<int>(cli.get_int("nodes", 64));
   cfg.workflows_per_node = static_cast<int>(cli.get_int("workflows", 3));
   cfg.algorithm = cli.get_string("algorithm", "dsmf");
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   cfg.system.horizon_s = cli.get_double("hours", 36.0) * 3600.0;
 
-  std::cout << "dpjit quickstart: " << cfg.nodes << " peers, " << cfg.workflows_per_node
-            << " workflows per node, algorithm=" << cfg.algorithm << "\n\n";
+  std::cout << "dpjit quickstart (" << scenario << "): " << cfg.nodes << " peers, "
+            << cfg.workflows_per_node << " workflows per node, algorithm=" << cfg.algorithm
+            << "\n\n";
 
   const auto result = dpjit::exp::run_experiment(cfg);
 

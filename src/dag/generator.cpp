@@ -1,9 +1,28 @@
 #include "dag/generator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace dpjit::dag {
+namespace {
+
+/// One size draw from [lo, hi] under the requested family. The uniform path
+/// consumes exactly one uniform (bit-compatible with the pre-distribution
+/// generator); heavy tails are clamped back into the range.
+double draw_size(util::Rng& rng, SizeDistribution dist, double lo, double hi, double shape) {
+  switch (dist) {
+    case SizeDistribution::kUniform: return rng.uniform(lo, hi);
+    case SizeDistribution::kLogNormal: {
+      const double mu = 0.5 * (std::log(lo) + std::log(hi));
+      return std::clamp(rng.lognormal(mu, shape), lo, hi);
+    }
+    case SizeDistribution::kPareto: return std::min(rng.pareto(lo, shape), hi);
+  }
+  throw std::logic_error("draw_size: unknown distribution");
+}
+
+}  // namespace
 
 void GeneratorParams::validate() const {
   auto check = [](bool ok, const char* what) {
@@ -14,6 +33,14 @@ void GeneratorParams::validate() const {
   check(min_load_mi >= 0 && min_load_mi <= max_load_mi, "load bounds");
   check(min_image_mb >= 0 && min_image_mb <= max_image_mb, "image bounds");
   check(min_data_mb >= 0 && min_data_mb <= max_data_mb, "data bounds");
+  if (load_distribution != SizeDistribution::kUniform) {
+    check(min_load_mi > 0, "heavy-tailed load needs min_load_mi > 0");
+    check(load_tail_shape > 0, "load tail shape > 0");
+  }
+  if (data_distribution != SizeDistribution::kUniform) {
+    check(min_data_mb > 0, "heavy-tailed data needs min_data_mb > 0");
+    check(data_tail_shape > 0, "data tail shape > 0");
+  }
 }
 
 Workflow generate_workflow(WorkflowId id, const GeneratorParams& params, util::Rng& rng) {
@@ -28,13 +55,17 @@ Workflow generate_workflow(WorkflowId id, const GeneratorParams& params, util::R
     // positive in GCC 12 (PR 105329) under -O2.
     std::string name = "t";
     name += std::to_string(i);
-    tasks.push_back(wf.add_task(rng.uniform(params.min_load_mi, params.max_load_mi),
+    tasks.push_back(wf.add_task(draw_size(rng, params.load_distribution, params.min_load_mi,
+                                          params.max_load_mi, params.load_tail_shape),
                                 rng.uniform(params.min_image_mb, params.max_image_mb),
                                 std::move(name)));
   }
 
   std::vector<int> outdeg(static_cast<std::size_t>(n), 0);
-  auto data = [&] { return rng.uniform(params.min_data_mb, params.max_data_mb); };
+  auto data = [&] {
+    return draw_size(rng, params.data_distribution, params.min_data_mb, params.max_data_mb,
+                     params.data_tail_shape);
+  };
 
   // Phase 1 - connectivity: every task i>0 takes one precedent among the
   // earlier tasks that still have fan-out budget. During this phase at most

@@ -8,6 +8,21 @@
 
 namespace dpjit::dag {
 
+/// How per-task loads and per-edge data volumes are drawn from their
+/// [min, max] ranges. kUniform is the paper's Table-I setting; the heavy-tail
+/// families model real grid traces, where most tasks are small and a few are
+/// enormous. Heavy-tail draws are clamped back into [min, max], so the range
+/// bounds stay hard invariants regardless of the distribution.
+enum class SizeDistribution {
+  kUniform,
+  /// exp(N(mu, sigma)) with mu centered on the geometric mean of the range;
+  /// the tail shape parameter is sigma (log-space standard deviation).
+  kLogNormal,
+  /// Pareto Type I with scale = min; the tail shape parameter is the tail
+  /// index alpha (smaller alpha = heavier tail).
+  kPareto,
+};
+
 /// Parameters of the random DAG family (defaults = Table I, CCR ~ 0.16 case).
 struct GeneratorParams {
   int min_tasks = 2;
@@ -21,8 +36,15 @@ struct GeneratorParams {
   double max_image_mb = 100.0;
   double min_data_mb = 10.0;
   double max_data_mb = 1000.0;
+  /// Distribution of task loads / dependent-data volumes over their ranges.
+  SizeDistribution load_distribution = SizeDistribution::kUniform;
+  SizeDistribution data_distribution = SizeDistribution::kUniform;
+  /// Heavy-tail shape: lognormal sigma, or Pareto alpha (unused for uniform).
+  double load_tail_shape = 1.0;
+  double data_tail_shape = 1.5;
 
-  /// Throws std::invalid_argument when bounds are inverted or non-positive.
+  /// Throws std::invalid_argument when bounds are inverted or non-positive
+  /// (heavy-tail draws additionally require strictly positive minima).
   void validate() const;
 };
 

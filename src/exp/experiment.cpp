@@ -1,5 +1,6 @@
 #include "exp/experiment.hpp"
 
+#include <bit>
 #include <chrono>
 
 namespace dpjit::exp {
@@ -39,6 +40,34 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   auto result = summarize(world, std::chrono::duration<double>(t1 - t0).count());
   result.events_processed = world.engine().processed();
   return result;
+}
+
+std::uint64_t result_digest(const ExperimentResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  // Exactly these fields, in this order: the fig11 anchor digest recorded in
+  // BENCH_2.json / ROADMAP.md depends on it.
+  mix(std::bit_cast<std::uint64_t>(r.act));
+  mix(std::bit_cast<std::uint64_t>(r.ae));
+  mix(std::bit_cast<std::uint64_t>(r.mean_response));
+  mix(r.workflows_finished);
+  mix(r.tasks_dispatched);
+  mix(r.tasks_failed);
+  mix(r.gossip_messages);
+  mix(r.events_processed);
+  return h;
+}
+
+std::uint64_t results_digest(const std::vector<ExperimentResult>& results) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& r : results) {
+    h ^= result_digest(r);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 }  // namespace dpjit::exp

@@ -45,4 +45,13 @@ struct ExperimentResult {
 /// Extracts the summary from an already-run World.
 [[nodiscard]] ExperimentResult summarize(const World& world, double wall_seconds);
 
+/// FNV-1a over the bit patterns of the result's headline metrics: a cheap
+/// fingerprint for "this change did not alter simulation output". Excludes
+/// wall-clock time, so the digest is machine-independent; used by the perf
+/// harness, the scenario conformance tier and CI golden-digest checks.
+[[nodiscard]] std::uint64_t result_digest(const ExperimentResult& r);
+
+/// Order-sensitive combination of per-result digests for whole sweeps.
+[[nodiscard]] std::uint64_t results_digest(const std::vector<ExperimentResult>& results);
+
 }  // namespace dpjit::exp

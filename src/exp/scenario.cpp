@@ -1,0 +1,259 @@
+#include "exp/scenario.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dpjit::exp {
+namespace {
+
+/// Convenience: wraps a void(ExperimentConfig&) mutator as a pure transform.
+template <typename Fn>
+std::function<ExperimentConfig(ExperimentConfig)> mutate(Fn fn) {
+  return [fn](ExperimentConfig cfg) {
+    fn(cfg);
+    return cfg;
+  };
+}
+
+ScenarioRegistry build_registry() {
+  ScenarioRegistry reg;
+
+  // --- the paper's environments (Section IV) -------------------------------
+  reg.add({"paper/static-n200",
+           "Table-I static environment at the bench default scale n=200 (Figs. 4-6 shape)",
+           "IV.A", RuntimeTier::kFast, mutate([](ExperimentConfig& c) { c.nodes = 200; })});
+  reg.add({"paper/static-n500",
+           "Table-I static environment at n=500, the recorded perf-anchor scale (BENCH_2.json)",
+           "IV.A", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) { c.nodes = 500; })});
+  reg.add({"paper/static-n1000",
+           "Table-I static environment at the publication scale n=1000",
+           "IV.A", RuntimeTier::kSlow, mutate([](ExperimentConfig& c) { c.nodes = 1000; })});
+  for (const auto& [name, df, tier] : {
+           std::tuple{"paper/dynamic-df10", 0.1, RuntimeTier::kSlow},
+           std::tuple{"paper/dynamic-df20", 0.2, RuntimeTier::kSlow},
+           std::tuple{"paper/dynamic-df30", 0.3, RuntimeTier::kSlow},
+           std::tuple{"paper/dynamic-df40", 0.4, RuntimeTier::kSlow},
+       }) {
+    std::ostringstream desc;
+    desc << "dynamic environment, dynamic factor " << df
+         << " (stable half are homes; Figs. 12-14 shape)";
+    const double factor = df;
+    reg.add({name, desc.str(), "IV.B", tier,
+             mutate([factor](ExperimentConfig& c) { c.dynamic_factor = factor; })});
+  }
+
+  // --- the four CCR regimes of Figs. 9-10 ----------------------------------
+  reg.add({"ccr/balanced-light",
+           "CCR ~ 1.6: light loads 10-1000 MI, light data 10-1000 Mb",
+           "IV.B Figs. 9-10", RuntimeTier::kSlow, mutate([](ExperimentConfig& c) {
+             c.set_load_range(10, 1000);
+             c.set_data_range(10, 1000);
+           })});
+  reg.add({"ccr/data-heavy",
+           "CCR ~ 16: light loads 10-1000 MI, heavy data 100-10000 Mb (transfer-bound)",
+           "IV.B Figs. 9-10", RuntimeTier::kSlow, mutate([](ExperimentConfig& c) {
+             c.set_load_range(10, 1000);
+             c.set_data_range(100, 10000);
+           })});
+  reg.add({"ccr/compute-heavy",
+           "CCR ~ 0.16: heavy loads 100-10000 MI, light data 10-1000 Mb (the Table-I default)",
+           "IV.B Figs. 9-10", RuntimeTier::kSlow, mutate([](ExperimentConfig& c) {
+             c.set_load_range(100, 10000);
+             c.set_data_range(10, 1000);
+           })});
+  reg.add({"ccr/balanced-heavy",
+           "CCR ~ 1.6: heavy loads 100-10000 MI, heavy data 100-10000 Mb",
+           "IV.B Figs. 9-10", RuntimeTier::kSlow, mutate([](ExperimentConfig& c) {
+             c.set_load_range(100, 10000);
+             c.set_data_range(100, 10000);
+           })});
+
+  // --- extension workloads beyond the paper --------------------------------
+  reg.add({"open/poisson-arrivals",
+           "open model: each home submits 4 workflows with exponential inter-arrivals "
+           "(mean 1 h) instead of everything at t=0",
+           "", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.workflows_per_node = 4;
+             c.mean_interarrival_s = 3600.0;
+           })});
+  reg.add({"burst/flash-crowd",
+           "flash crowd: 3 submission waves 4 h apart, each dumping one workflow per home "
+           "inside a 15-minute window",
+           "", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.workflows_per_node = 6;
+             c.bursts.wave_count = 3;
+             c.bursts.first_wave_s = 1800.0;
+             c.bursts.period_s = 4.0 * 3600.0;
+             c.bursts.width_s = 900.0;
+           })});
+  reg.add({"tail/heavy-tailed-loads",
+           "heavy-tailed task sizes over the Table-I ranges: lognormal loads (sigma 1.2), "
+           "Pareto dependent data (alpha 1.5) - most tasks small, a few enormous",
+           "", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.workflow.load_distribution = dag::SizeDistribution::kLogNormal;
+             c.workflow.load_tail_shape = 1.2;
+             c.workflow.data_distribution = dag::SizeDistribution::kPareto;
+             c.workflow.data_tail_shape = 1.5;
+           })});
+  reg.add({"churn/correlated-waves",
+           "correlated churn: base dynamic factor 0.1, every 4th interval a departure wave "
+           "takes out 3x the usual count at once; rejoins recover at the base rate",
+           "", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.dynamic_factor = 0.1;
+             c.system.churn.wave_every = 4;
+             c.system.churn.wave_multiplier = 3.0;
+           })});
+  reg.add({"mixed/multi-template",
+           "mixed structured workload: random DAGs plus Montage, fork-join, pipeline and "
+           "diamond templates drawn from a weighted mix",
+           "", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.workload_mix = {
+                 {"random", 2.0, 0},
+                 {"montage", 1.0, 6},
+                 {"fork-join", 1.0, 4},
+                 {"pipeline", 1.0, 6},
+                 {"diamond", 0.5, 0},
+             };
+           })});
+
+  return reg;
+}
+
+}  // namespace
+
+std::string_view to_string(RuntimeTier tier) {
+  switch (tier) {
+    case RuntimeTier::kFast: return "fast";
+    case RuntimeTier::kMedium: return "medium";
+    case RuntimeTier::kSlow: return "slow";
+  }
+  return "unknown";
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.name.empty()) throw std::invalid_argument("ScenarioRegistry: empty name");
+  if (!scenario.transform) {
+    throw std::invalid_argument("ScenarioRegistry: scenario '" + scenario.name +
+                                "' has no transform");
+  }
+  const auto pos = std::lower_bound(
+      scenarios_.begin(), scenarios_.end(), scenario.name,
+      [](const Scenario& s, const std::string& name) { return s.name < name; });
+  if (pos != scenarios_.end() && pos->name == scenario.name) {
+    throw std::invalid_argument("ScenarioRegistry: duplicate scenario '" + scenario.name + "'");
+  }
+  scenarios_.insert(pos, std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  const auto pos = std::lower_bound(
+      scenarios_.begin(), scenarios_.end(), name,
+      [](const Scenario& s, std::string_view n) { return s.name < n; });
+  return pos != scenarios_.end() && pos->name == name ? &*pos : nullptr;
+}
+
+const Scenario& ScenarioRegistry::at(std::string_view name) const {
+  if (const Scenario* s = find(name)) return *s;
+  std::string msg = "unknown scenario '" + std::string(name) + "'; known:";
+  for (const auto& s : scenarios_) msg += " " + s.name;
+  throw std::out_of_range(msg);
+}
+
+std::vector<const Scenario*> ScenarioRegistry::family(std::string_view prefix) const {
+  std::vector<const Scenario*> out;
+  for (const auto& s : scenarios_) {
+    if (std::string_view(s.name).substr(0, prefix.size()) == prefix) out.push_back(&s);
+  }
+  return out;
+}
+
+const ScenarioRegistry& scenario_registry() {
+  static const ScenarioRegistry registry = build_registry();
+  return registry;
+}
+
+int conformance_nodes(int full_nodes) {
+  return std::clamp(full_nodes / 10, kConformanceMinNodes, kConformanceMaxNodes);
+}
+
+ExperimentConfig conformance_preset(ExperimentConfig cfg) {
+  cfg.nodes = conformance_nodes(cfg.nodes);
+  // One routing thread: determinism holds at any count (tested), but the
+  // conformance tier runs many scenarios under `ctest -j` and must not nest
+  // full-width pools.
+  cfg.routing_threads = 1;
+  return cfg;
+}
+
+std::uint64_t conformance_digest(const Scenario& scenario) {
+  return result_digest(run_experiment(conformance_preset(scenario.config())));
+}
+
+void write_digest_document(std::ostream& os,
+                           const std::vector<std::pair<std::string, std::uint64_t>>& digests) {
+  auto sorted = digests;
+  std::sort(sorted.begin(), sorted.end());
+  os << "{\n";
+  os << "  \"schema\": \"dpjit-scenario-digests-v1\",\n";
+  os << "  \"preset\": \"nodes=clamp(full/10," << kConformanceMinNodes << ","
+     << kConformanceMaxNodes << ") routing_threads=1\",\n";
+  os << "  \"digests\": {\n";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    os << "    \"" << sorted[i].first << "\": \"" << sorted[i].second << "\""
+       << (i + 1 < sorted.size() ? "," : "") << "\n";
+  }
+  os << "  }\n";
+  os << "}\n";
+}
+
+std::map<std::string, std::uint64_t> parse_digest_document(std::istream& is) {
+  // Line-based parser for the canonical document write_digest_document emits.
+  // Deliberately strict: anything hand-mangled should fail, not half-parse.
+  std::map<std::string, std::uint64_t> out;
+  std::string line;
+  bool saw_schema = false;
+  bool in_digests = false;
+  while (std::getline(is, line)) {
+    if (line.find("\"dpjit-scenario-digests-v1\"") != std::string::npos) saw_schema = true;
+    if (line.find("\"digests\"") != std::string::npos) {
+      in_digests = true;
+      continue;
+    }
+    if (!in_digests) continue;
+    if (line.find('}') != std::string::npos && line.find(':') == std::string::npos) break;
+    // Expected shape:   "name": "digest"[,]
+    const auto q1 = line.find('"');
+    const auto q2 = line.find('"', q1 + 1);
+    const auto q3 = line.find('"', q2 + 1);
+    const auto q4 = line.find('"', q3 + 1);
+    if (q1 == std::string::npos || q2 == std::string::npos || q3 == std::string::npos ||
+        q4 == std::string::npos) {
+      throw std::runtime_error("golden digest document: malformed line: " + line);
+    }
+    const std::string name = line.substr(q1 + 1, q2 - q1 - 1);
+    const std::string value = line.substr(q3 + 1, q4 - q3 - 1);
+    std::uint64_t digest = 0;
+    try {
+      std::size_t consumed = 0;
+      digest = std::stoull(value, &consumed);
+      if (consumed != value.size()) throw std::invalid_argument(value);
+    } catch (const std::exception&) {
+      throw std::runtime_error("golden digest document: bad digest for " + name);
+    }
+    if (!out.emplace(name, digest).second) {
+      throw std::runtime_error("golden digest document: duplicate scenario " + name);
+    }
+  }
+  if (!saw_schema) throw std::runtime_error("golden digest document: missing/unknown schema");
+  return out;
+}
+
+}  // namespace dpjit::exp

@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "dag/templates.hpp"
+
 namespace dpjit::exp {
 namespace {
 
@@ -33,6 +35,46 @@ core::SystemConfig build_system_config(const ExperimentConfig& cfg) {
   return sys;
 }
 
+void validate_mix(const std::vector<WorkloadMixEntry>& mix) {
+  for (const auto& e : mix) {
+    if (e.weight <= 0.0) throw std::invalid_argument("workload_mix: weight > 0");
+    if (e.family != "random" && e.family != "montage" && e.family != "fork-join" &&
+        e.family != "pipeline" && e.family != "diamond") {
+      throw std::invalid_argument("workload_mix: unknown family '" + e.family + "'");
+    }
+    if (e.family != "random" && e.family != "diamond" && e.size < 2) {
+      throw std::invalid_argument("workload_mix: template size >= 2");
+    }
+  }
+}
+
+/// Draws one workflow from the mix. Template task sizes come from the
+/// midpoints of the random-family ranges, so a mix stays comparable with the
+/// random workload it replaces.
+dag::Workflow draw_from_mix(const ExperimentConfig& cfg, util::Rng& rng) {
+  double total = 0.0;
+  for (const auto& e : cfg.workload_mix) total += e.weight;
+  double ticket = rng.uniform(0.0, total);
+  const WorkloadMixEntry* pick = &cfg.workload_mix.back();
+  for (const auto& e : cfg.workload_mix) {
+    if (ticket < e.weight) {
+      pick = &e;
+      break;
+    }
+    ticket -= e.weight;
+  }
+
+  dag::TemplateParams tpl;
+  tpl.load_mi = 0.5 * (cfg.workflow.min_load_mi + cfg.workflow.max_load_mi);
+  tpl.image_mb = 0.5 * (cfg.workflow.min_image_mb + cfg.workflow.max_image_mb);
+  tpl.data_mb = 0.5 * (cfg.workflow.min_data_mb + cfg.workflow.max_data_mb);
+  if (pick->family == "montage") return dag::make_montage(WorkflowId{}, pick->size, tpl);
+  if (pick->family == "fork-join") return dag::make_fork_join(WorkflowId{}, 2, pick->size, tpl);
+  if (pick->family == "pipeline") return dag::make_pipeline(WorkflowId{}, pick->size, tpl);
+  if (pick->family == "diamond") return dag::make_diamond(WorkflowId{}, 2.0, tpl);
+  return dag::generate_workflow(WorkflowId{}, cfg.workflow, rng);
+}
+
 }  // namespace
 
 World::World(const ExperimentConfig& config)
@@ -47,6 +89,13 @@ World::World(const ExperimentConfig& config)
       metrics_(config.system.horizon_s) {
   if (config.nodes < 1) throw std::invalid_argument("World: nodes >= 1");
   if (config.workflows_per_node < 0) throw std::invalid_argument("World: workflows_per_node >= 0");
+  if (config.bursts.wave_count < 0) throw std::invalid_argument("World: bursts.wave_count >= 0");
+  if (config.bursts.wave_count > 0 &&
+      (config.bursts.first_wave_s < 0.0 || config.bursts.period_s <= 0.0 ||
+       config.bursts.width_s <= 0.0)) {
+    throw std::invalid_argument("World: burst wave timing must be positive");
+  }
+  validate_mix(config.workload_mix);
 
   engine_.reserve(config.event_capacity_hint != 0
                       ? config.event_capacity_hint
@@ -80,8 +129,19 @@ void World::submit_workload() {
     for (int j = 0; j < config_.workflows_per_node; ++j) {
       auto one_rng = wf_rng.fork("wf", static_cast<std::uint64_t>(h) * 1000003ULL +
                                            static_cast<std::uint64_t>(j));
-      auto wf = dag::generate_workflow(WorkflowId{}, config_.workflow, one_rng);
-      if (config_.mean_interarrival_s <= 0.0) {
+      auto wf = config_.workload_mix.empty()
+                    ? dag::generate_workflow(WorkflowId{}, config_.workflow, one_rng)
+                    : draw_from_mix(config_, one_rng);
+      if (config_.bursts.wave_count > 0) {
+        // Flash-crowd model: workflow j joins wave j % wave_count; every wave
+        // dumps one workflow per home inside a short window.
+        const int wave = j % config_.bursts.wave_count;
+        const double open = config_.bursts.first_wave_s + wave * config_.bursts.period_s;
+        const double at = open + arrival_rng.uniform(0.0, config_.bursts.width_s);
+        engine_.schedule_at(at, [this, h, pending = std::move(wf)]() mutable {
+          system_->submit(NodeId{h}, std::move(pending));
+        });
+      } else if (config_.mean_interarrival_s <= 0.0) {
         // Closed model (the paper's setting): everything arrives at t = 0.
         system_->submit(NodeId{h}, std::move(wf));
       } else {

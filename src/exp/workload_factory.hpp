@@ -13,6 +13,30 @@
 
 namespace dpjit::exp {
 
+/// Flash-crowd arrival process (extension; see ExperimentConfig::bursts).
+struct BurstArrivals {
+  /// Number of submission waves; 0 disables the burst model.
+  int wave_count = 0;
+  /// Start of the first wave (seconds of simulated time).
+  double first_wave_s = 1800.0;
+  /// Spacing between wave openings.
+  double period_s = 4.0 * 3600.0;
+  /// Each home's submissions land uniformly inside [open, open + width].
+  double width_s = 900.0;
+};
+
+/// One entry of a mixed structured workload (see ExperimentConfig::
+/// workload_mix): a workflow family plus its sampling weight.
+struct WorkloadMixEntry {
+  /// "random" (the GeneratorParams family) or a dag template:
+  /// "montage", "fork-join", "pipeline", "diamond".
+  std::string family = "random";
+  double weight = 1.0;
+  /// Template scale: montage width / fork-join width / pipeline length
+  /// (ignored by "random" and "diamond").
+  int size = 6;
+};
+
 /// Everything a single simulation run needs (defaults = paper Section IV.A).
 struct ExperimentConfig {
   /// One of core::all_algorithms().
@@ -41,6 +65,14 @@ struct ExperimentConfig {
   /// its workflows one by one with exponential inter-arrival times of this
   /// mean (seconds), e.g. 3600 = on average one new workflow per hour per home.
   double mean_interarrival_s = 0.0;
+  /// Flash-crowd extension: when bursts.wave_count > 0, workflow j of every
+  /// home is submitted in wave j % wave_count instead of the closed/open
+  /// models above (takes precedence over mean_interarrival_s).
+  BurstArrivals bursts;
+  /// Mixed-workload extension: when non-empty, each submitted workflow draws
+  /// its family from this weighted mix instead of always using the random-DAG
+  /// generator. Template task sizes derive from the `workflow` ranges.
+  std::vector<WorkloadMixEntry> workload_mix;
   /// Pre-sized capacity of the engine's event slab (concurrently pending
   /// events). 0 = derive from `nodes` (gossip keeps O(fanout) messages in
   /// flight per node). Purely an allocation hint; never affects results.

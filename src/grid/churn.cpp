@@ -21,6 +21,10 @@ ChurnModel::ChurnModel(sim::Engine& engine, Params params, int node_count, util:
     throw std::invalid_argument("ChurnModel: stable_count in [0,n]");
   }
   if (params_.interval_s <= 0.0) throw std::invalid_argument("ChurnModel: interval > 0");
+  if (params_.wave_every < 0) throw std::invalid_argument("ChurnModel: wave_every >= 0");
+  if (params_.wave_every > 0 && params_.wave_multiplier < 1.0) {
+    throw std::invalid_argument("ChurnModel: wave_multiplier >= 1");
+  }
 }
 
 void ChurnModel::start() {
@@ -38,6 +42,16 @@ void ChurnModel::stop() {
 void ChurnModel::step() {
   const auto churn_count = static_cast<std::size_t>(params_.dynamic_factor * n_);
   if (churn_count == 0) return;
+  ++steps_;
+
+  // On a correlated wave step, departures scale up while joins keep the base
+  // rate (mass outage, gradual recovery). The cast keeps leave_target exact
+  // for integer multipliers.
+  std::size_t leave_target = churn_count;
+  if (params_.wave_every > 0 && steps_ % static_cast<std::uint64_t>(params_.wave_every) == 0) {
+    leave_target = static_cast<std::size_t>(params_.wave_multiplier *
+                                            static_cast<double>(churn_count));
+  }
 
   std::vector<NodeId> alive_dynamic;
   std::vector<NodeId> dead_dynamic;
@@ -49,7 +63,7 @@ void ChurnModel::step() {
   // Departures first, then joins: the paper churns both directions per
   // interval, keeping the population roughly constant.
   rng_.shuffle(alive_dynamic);
-  const std::size_t leave_n = std::min(churn_count, alive_dynamic.size());
+  const std::size_t leave_n = std::min(leave_target, alive_dynamic.size());
   for (std::size_t i = 0; i < leave_n; ++i) {
     on_leave_(alive_dynamic[i]);
     ++leaves_;

@@ -27,6 +27,14 @@ class ChurnModel {
     int stable_count = 0;
     /// Churn step period in seconds (paper: the task scheduling interval).
     double interval_s = 900.0;
+    /// Correlated-churn extension: every `wave_every`-th step is a departure
+    /// wave taking out `wave_multiplier` x the base count at once (a campus
+    /// power cut, a network partition). Joins always run at the base rate, so
+    /// the population drains sharply on a wave and recovers over the
+    /// following steps. 0 = the paper's uncorrelated churn.
+    int wave_every = 0;
+    /// Departure scaling applied on wave steps (>= 1).
+    double wave_multiplier = 4.0;
   };
 
   using AliveFn = std::function<bool(NodeId)>;
@@ -47,6 +55,7 @@ class ChurnModel {
   [[nodiscard]] bool is_stable(NodeId n) const { return n.get() < params_.stable_count; }
   [[nodiscard]] std::uint64_t total_leaves() const { return leaves_; }
   [[nodiscard]] std::uint64_t total_joins() const { return joins_; }
+  [[nodiscard]] std::uint64_t total_steps() const { return steps_; }
 
  private:
   sim::Engine& engine_;
@@ -59,6 +68,7 @@ class ChurnModel {
   std::unique_ptr<sim::PeriodicProcess> process_;
   std::uint64_t leaves_ = 0;
   std::uint64_t joins_ = 0;
+  std::uint64_t steps_ = 0;
 };
 
 }  // namespace dpjit::grid

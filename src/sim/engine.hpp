@@ -52,6 +52,9 @@ class Engine {
   /// Number of pending events.
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
+  /// Read-only view of the underlying queue (slab-capacity inspection).
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;

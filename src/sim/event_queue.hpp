@@ -67,6 +67,9 @@ class EventQueue {
   /// by the number of schedule/cancel operations - there are no tombstones).
   [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
 
+  /// Reserved (pre-allocated) slab capacity; allocation introspection only.
+  [[nodiscard]] std::size_t reserved_capacity() const { return slots_.capacity(); }
+
  private:
   static constexpr std::uint32_t kNpos = 0xffffffffU;
 

@@ -96,6 +96,26 @@ double Rng::exponential(double mean) {
   return -mean * std::log(u);
 }
 
+double Rng::normal(double mean, double stddev) {
+  assert(stddev >= 0.0);
+  // Box-Muller: u1 in (0, 1] keeps the log finite; always consumes exactly
+  // two uniforms so interleaved streams stay aligned.
+  const double u1 = 1.0 - uniform01();
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return mean + stddev * r * std::cos(kTwoPi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+double Rng::pareto(double scale, double alpha) {
+  assert(scale > 0.0 && alpha > 0.0);
+  // Inverse CDF on u in (0, 1].
+  const double u = 1.0 - uniform01();
+  return scale * std::pow(u, -1.0 / alpha);
+}
+
 std::size_t Rng::index(std::size_t n) {
   assert(n >= 1);
   return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));

@@ -51,6 +51,17 @@ class Rng {
   /// Exponentially distributed value with the given mean (> 0).
   double exponential(double mean);
 
+  /// Normally distributed value (Box-Muller; consumes two uniforms per call).
+  double normal(double mean, double stddev);
+
+  /// Log-normally distributed value: exp(N(mu, sigma)) with mu/sigma in
+  /// log-space. sigma > 1 gives the heavy right tail of real grid workloads.
+  double lognormal(double mu, double sigma);
+
+  /// Pareto (Type I) value with scale xm > 0 and tail index alpha > 0:
+  /// support [xm, inf), P(X > x) = (xm/x)^alpha. Small alpha = heavier tail.
+  double pareto(double scale, double alpha);
+
   /// Picks one element uniformly from {0, ..., n-1}. Requires n >= 1.
   std::size_t index(std::size_t n);
 

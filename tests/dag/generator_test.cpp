@@ -101,6 +101,57 @@ TEST(Generator, ValidatesParams) {
   EXPECT_THROW(generate_workflow(WorkflowId{1}, bad2, rng), std::invalid_argument);
 }
 
+TEST(Generator, ValidatesHeavyTailParams) {
+  util::Rng rng(1);
+  GeneratorParams zero_min;
+  zero_min.min_load_mi = 0.0;
+  zero_min.load_distribution = SizeDistribution::kPareto;
+  EXPECT_THROW(generate_workflow(WorkflowId{1}, zero_min, rng), std::invalid_argument);
+  GeneratorParams bad_shape;
+  bad_shape.data_distribution = SizeDistribution::kLogNormal;
+  bad_shape.data_tail_shape = 0.0;
+  EXPECT_THROW(generate_workflow(WorkflowId{1}, bad_shape, rng), std::invalid_argument);
+}
+
+TEST(Generator, HeavyTailDrawsStayInsideTheRanges) {
+  for (auto dist : {SizeDistribution::kLogNormal, SizeDistribution::kPareto}) {
+    util::Rng rng(29);
+    GeneratorParams params;
+    params.load_distribution = dist;
+    params.data_distribution = dist;
+    params.load_tail_shape = dist == SizeDistribution::kLogNormal ? 1.2 : 1.5;
+    params.data_tail_shape = params.load_tail_shape;
+    for (int i = 0; i < 100; ++i) {
+      const auto wf = generate_workflow(WorkflowId{1}, params, rng);
+      for (std::size_t t = 0; t < wf.task_count(); ++t) {
+        const auto& task = wf.task(TaskIndex{static_cast<TaskIndex::underlying_type>(t)});
+        if (task.load_mi == 0.0) continue;  // virtual exit
+        EXPECT_GE(task.load_mi, params.min_load_mi);
+        EXPECT_LE(task.load_mi, params.max_load_mi);
+      }
+    }
+  }
+}
+
+TEST(Generator, UniformDistributionIsBitCompatibleWithDefaults) {
+  // The distribution knobs default to uniform and must not perturb the
+  // pre-existing draw sequence (golden digests depend on this).
+  util::Rng a(77), b(77);
+  GeneratorParams defaults;
+  GeneratorParams explicit_uniform;
+  explicit_uniform.load_distribution = SizeDistribution::kUniform;
+  explicit_uniform.data_distribution = SizeDistribution::kUniform;
+  explicit_uniform.load_tail_shape = 9.9;  // ignored for uniform
+  const auto wa = generate_workflow(WorkflowId{1}, defaults, a);
+  const auto wb = generate_workflow(WorkflowId{1}, explicit_uniform, b);
+  ASSERT_EQ(wa.task_count(), wb.task_count());
+  for (std::size_t t = 0; t < wa.task_count(); ++t) {
+    const TaskIndex ti{static_cast<TaskIndex::underlying_type>(t)};
+    EXPECT_EQ(wa.task(ti).load_mi, wb.task(ti).load_mi);
+    EXPECT_EQ(wa.task(ti).image_mb, wb.task(ti).image_mb);
+  }
+}
+
 class FanoutSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
 
 TEST_P(FanoutSweep, RespectsFanoutBounds) {

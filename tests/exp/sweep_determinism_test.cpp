@@ -73,6 +73,28 @@ TEST(SweepDeterminism, RepeatedThreadedSweepsAgree) {
   for (std::size_t i = 0; i < first.size(); ++i) expect_identical(first[i], second[i]);
 }
 
+TEST(SweepDeterminism, ForcedRoutingThreadsNeverAffectSweepResults) {
+  // ROADMAP flags >1-core behaviour as under-tested: an experiment must be
+  // bit-identical whether its Routing table was built on 1, 2 or 4 threads,
+  // through the full run_sweep path (not just the Routing class).
+  std::vector<ExperimentResult> reference;
+  for (int routing_threads : {1, 2, 4}) {
+    auto configs = small_sweep();
+    for (auto& cfg : configs) cfg.routing_threads = routing_threads;
+    const auto results = run_sweep(configs, /*threads=*/2);
+    if (reference.empty()) {
+      reference = results;
+      continue;
+    }
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      SCOPED_TRACE("routing_threads " + std::to_string(routing_threads) + " config " +
+                   std::to_string(i));
+      expect_identical(reference[i], results[i]);
+    }
+  }
+}
+
 TEST(SweepDeterminism, RoutingBuildIsIdenticalAtAnyThreadCount) {
   net::TopologyParams params;
   params.node_count = 120;

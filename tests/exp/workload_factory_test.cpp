@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "exp/experiment.hpp"
@@ -102,6 +103,60 @@ TEST(WorkloadFactory, OpenModelWorksWithFullAhead) {
   cfg.mean_interarrival_s = 1800.0;
   const auto result = run_experiment(cfg);
   EXPECT_EQ(result.workflows_finished, result.workflows_submitted);
+}
+
+TEST(WorkloadFactory, EventCapacityHintNeverAffectsResults) {
+  // The hint is purely an allocation knob; any value must leave the
+  // simulation bit-identical (the slab grows on demand past it).
+  auto cfg = tiny();
+  cfg.event_capacity_hint = 0;  // default derivation from `nodes`
+  const auto reference = run_experiment(cfg);
+  for (std::size_t hint : {std::size_t{1}, std::size_t{64}, std::size_t{1} << 16}) {
+    cfg.event_capacity_hint = hint;
+    const auto result = run_experiment(cfg);
+    EXPECT_EQ(result_digest(result), result_digest(reference)) << "hint " << hint;
+    EXPECT_EQ(result.events_processed, reference.events_processed) << "hint " << hint;
+  }
+}
+
+TEST(WorkloadFactory, EventCapacityHintPreSizesTheEngineSlab) {
+  auto cfg = tiny();
+  cfg.event_capacity_hint = 4096;
+  World world(cfg);
+  EXPECT_GE(world.engine().queue().reserved_capacity(), 4096u);
+  // Default derivation: nodes * 16 + 1024 slots.
+  cfg.event_capacity_hint = 0;
+  World derived(cfg);
+  EXPECT_GE(derived.engine().queue().reserved_capacity(), 16u * 16u + 1024u);
+}
+
+TEST(WorkloadFactory, OpenModelArrivalsAreMonotonePerHome) {
+  auto cfg = tiny();
+  cfg.mean_interarrival_s = 1200.0;
+  World world(cfg);
+  world.run();
+  // Workflows are submitted home by home in j order; each home's arrival
+  // times must be strictly increasing (accumulated exponentials).
+  std::map<int, double> last_per_home;
+  for (std::size_t w = 0; w < world.system().workflow_count(); ++w) {
+    const auto& inst =
+        world.system().workflow(WorkflowId{static_cast<WorkflowId::underlying_type>(w)});
+    const int home = inst.home.get();
+    const auto it = last_per_home.find(home);
+    if (it != last_per_home.end()) {
+      EXPECT_GT(inst.submit_time, it->second) << "home " << home;
+    }
+    last_per_home[home] = inst.submit_time;
+  }
+  EXPECT_EQ(last_per_home.size(), 16u);  // every home submitted
+}
+
+TEST(WorkloadFactory, OpenModelIsDeterministic) {
+  auto cfg = tiny();
+  cfg.mean_interarrival_s = 900.0;
+  const auto a = run_experiment(cfg);
+  const auto b = run_experiment(cfg);
+  EXPECT_EQ(result_digest(a), result_digest(b));
 }
 
 TEST(WorkloadFactory, ClosedModelSubmitsAtZero) {

@@ -1,0 +1,96 @@
+// Bench-port parity: the fig binaries were moved from hand-rolled configs
+// onto the scenario registry; these digests were recorded from the PRE-PORT
+// binaries, so the registry path must reproduce the old outputs
+// bit-identically. They double as a standing regression net for the whole
+// stack at bench scales (bigger n than the conformance preset).
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "bench_common.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+
+namespace dpjit::exp {
+namespace {
+
+util::Config cli_from(std::string_view text) { return util::Config::from_string(text); }
+
+// Recorded from the pre-port fig04 path (bench::base_config(cli, 200) with
+// --nodes=64): one digest per algorithm in across_algorithms order.
+struct AlgoDigest {
+  const char* algorithm;
+  std::uint64_t digest;
+};
+constexpr AlgoDigest kFig04N64[] = {
+    {"dheft", 7349063439217761596ULL},
+    {"heft", 13560073497829356213ULL},
+    {"maxmin", 9910605002200691914ULL},
+    {"minmin", 8704180494732171477ULL},
+    {"dsdf", 649670137986840733ULL},
+    {"sufferage", 11512441263546402226ULL},
+    {"dsmf", 13356348578863560070ULL},
+    {"smf", 16565475073514119892ULL},
+};
+
+TEST(BenchParity, Fig04ScenarioPathReproducesPrePortDigests) {
+  const auto base = bench::scenario_config(cli_from("nodes=64"), "paper/static-n200");
+  EXPECT_EQ(base.nodes, 64);
+  const auto results = run_sweep(across_algorithms(base));
+  ASSERT_EQ(results.size(), std::size(kFig04N64));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].algorithm, kFig04N64[i].algorithm);
+    EXPECT_EQ(result_digest(results[i]), kFig04N64[i].digest) << results[i].algorithm;
+  }
+}
+
+// Recorded from the pre-port fig11 path (bench::base_config(cli, 100),
+// algorithm=dsmf) at its first two scales.
+constexpr std::pair<int, std::uint64_t> kFig11Scales[] = {
+    {100, 4652137975387078828ULL},
+    {200, 13379726274966425877ULL},
+};
+
+TEST(BenchParity, Fig11ScenarioPathReproducesPrePortDigests) {
+  auto base = bench::scenario_config(cli_from(""), "paper/static-n1000", /*bench_scale_nodes=*/100);
+  base.algorithm = "dsmf";
+  std::vector<ExperimentConfig> configs;
+  for (const auto& [n, digest] : kFig11Scales) {
+    ExperimentConfig cfg = base;
+    cfg.nodes = n;
+    configs.push_back(cfg);
+  }
+  const auto results = run_sweep(configs);
+  ASSERT_EQ(results.size(), std::size(kFig11Scales));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(result_digest(results[i]), kFig11Scales[i].second)
+        << "n=" << kFig11Scales[i].first;
+  }
+}
+
+// The n=500 DSMF end-to-end anchor recorded by PR 2 in BENCH_2.json /
+// ROADMAP.md; ties exp::result_digest to the published fingerprint.
+TEST(BenchParity, Fig11PerfAnchorN500MatchesRecordedDigest) {
+  ExperimentConfig cfg = scenario_registry().at("paper/static-n500").config();
+  EXPECT_EQ(cfg.nodes, 500);
+  EXPECT_EQ(cfg.algorithm, "dsmf");
+  const auto result = run_experiment(cfg);
+  EXPECT_EQ(result_digest(result), 9659472094034910224ULL);
+}
+
+// scenario_config must honour the same CLI overrides base_config did.
+TEST(BenchParity, ScenarioConfigAppliesCliOverridesLikeBaseConfig) {
+  const auto cli = cli_from("nodes=80\nworkflows=5\nseed=9\nhours=12");
+  const auto from_scenario = bench::scenario_config(cli, "paper/static-n200");
+  const auto legacy = bench::base_config(cli, 200);
+  EXPECT_EQ(from_scenario.nodes, legacy.nodes);
+  EXPECT_EQ(from_scenario.workflows_per_node, legacy.workflows_per_node);
+  EXPECT_EQ(from_scenario.seed, legacy.seed);
+  EXPECT_DOUBLE_EQ(from_scenario.system.horizon_s, legacy.system.horizon_s);
+
+  const auto paper = bench::scenario_config(cli_from("paper=true"), "paper/static-n200");
+  EXPECT_EQ(paper.nodes, 1000);
+}
+
+}  // namespace
+}  // namespace dpjit::exp

@@ -1,0 +1,78 @@
+// Golden-digest conformance: every registered scenario runs end-to-end at the
+// small-n preset and must reproduce the digest committed in
+// golden_digests.json. Any engine/policy/network/workload change that
+// silently alters simulation results fails here loudly.
+//
+// When a digest change is LEGITIMATE (an intentional semantic change, a new
+// scenario, a preset change), regenerate the goldens and commit the diff:
+//
+//   ./build/tools/scenario_runner --digest > tests/scenario/golden_digests.json
+//
+// and explain the change in the commit message (see README "Scenario
+// library"). A digest change you cannot explain is a bug, not a golden
+// update.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "exp/scenario.hpp"
+
+namespace dpjit::exp {
+namespace {
+
+const std::map<std::string, std::uint64_t>& golden_digests() {
+  static const std::map<std::string, std::uint64_t> golden = [] {
+    std::ifstream in(DPJIT_SCENARIO_GOLDEN_FILE);
+    if (!in) throw std::runtime_error("cannot open " DPJIT_SCENARIO_GOLDEN_FILE);
+    return parse_digest_document(in);
+  }();
+  return golden;
+}
+
+TEST(ScenarioGoldens, FileCoversExactlyTheRegistry) {
+  const auto& golden = golden_digests();
+  EXPECT_EQ(golden.size(), scenario_registry().size())
+      << "golden_digests.json and the registry disagree; regenerate with "
+         "scenario_runner --digest";
+  for (const auto& s : scenario_registry().all()) {
+    EXPECT_TRUE(golden.count(s.name)) << "no golden digest for " << s.name;
+  }
+  for (const auto& [name, digest] : golden) {
+    EXPECT_NE(scenario_registry().find(name), nullptr)
+        << "golden digest for unregistered scenario " << name;
+  }
+}
+
+class ScenarioConformance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioConformance, MatchesGoldenDigest) {
+  const auto& scenario = scenario_registry().at(GetParam());
+  const auto it = golden_digests().find(scenario.name);
+  ASSERT_NE(it, golden_digests().end()) << "no golden digest for " << scenario.name;
+  EXPECT_EQ(conformance_digest(scenario), it->second)
+      << scenario.name
+      << ": end-to-end results changed. If intentional, regenerate goldens with "
+         "scenario_runner --digest and justify the change in the commit.";
+}
+
+std::vector<std::string> all_scenario_names() {
+  std::vector<std::string> names;
+  for (const auto& s : scenario_registry().all()) names.push_back(s.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ScenarioConformance, ::testing::ValuesIn(all_scenario_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           // gtest names must be alphanumeric: "ccr/data-heavy"
+                           // -> "ccr_data_heavy".
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '/' || c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace dpjit::exp

@@ -1,0 +1,103 @@
+// Registry semantics: lookup, ordering, metadata hygiene, transform purity.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "exp/scenario.hpp"
+
+namespace dpjit::exp {
+namespace {
+
+TEST(ScenarioRegistry, HasAtLeastTenScenarios) {
+  EXPECT_GE(scenario_registry().size(), 10u);
+}
+
+TEST(ScenarioRegistry, NamesAreSortedUniqueAndWellFormed) {
+  std::set<std::string> seen;
+  std::string prev;
+  for (const auto& s : scenario_registry().all()) {
+    EXPECT_LT(prev, s.name);  // strictly ascending = sorted + unique
+    prev = s.name;
+    EXPECT_TRUE(seen.insert(s.name).second);
+    // family/variant shape keeps --list groupable and CI logs readable.
+    EXPECT_NE(s.name.find('/'), std::string::npos) << s.name;
+    EXPECT_FALSE(s.description.empty()) << s.name;
+    EXPECT_TRUE(s.transform) << s.name;
+  }
+}
+
+TEST(ScenarioRegistry, FindAndAtAgree) {
+  const auto& reg = scenario_registry();
+  for (const auto& s : reg.all()) {
+    ASSERT_NE(reg.find(s.name), nullptr);
+    EXPECT_EQ(&reg.at(s.name), reg.find(s.name));
+  }
+  EXPECT_EQ(reg.find("no/such-scenario"), nullptr);
+  EXPECT_THROW(static_cast<void>(reg.at("no/such-scenario")), std::out_of_range);
+}
+
+TEST(ScenarioRegistry, FamilySelectsByPrefix) {
+  const auto dynamics = scenario_registry().family("paper/dynamic-");
+  ASSERT_EQ(dynamics.size(), 4u);
+  // Ascending name order doubles as ascending dynamic factor for the sweep
+  // binaries (fig12-14 rely on this).
+  double prev = 0.0;
+  for (const auto* s : dynamics) {
+    const auto cfg = s->apply(ExperimentConfig{});
+    EXPECT_GT(cfg.dynamic_factor, prev);
+    prev = cfg.dynamic_factor;
+  }
+  EXPECT_TRUE(scenario_registry().family("zzz/").empty());
+}
+
+TEST(ScenarioRegistry, TransformsArePure) {
+  for (const auto& s : scenario_registry().all()) {
+    ExperimentConfig base;
+    base.nodes = 77;
+    base.seed = 9;
+    const auto once = s.apply(base);
+    const auto twice = s.apply(base);
+    EXPECT_EQ(once.nodes, twice.nodes) << s.name;
+    EXPECT_EQ(once.seed, twice.seed) << s.name;
+    EXPECT_EQ(once.algorithm, twice.algorithm) << s.name;
+    EXPECT_EQ(once.dynamic_factor, twice.dynamic_factor) << s.name;
+  }
+}
+
+TEST(ScenarioRegistry, AddRejectsDuplicatesAndEmpties) {
+  ScenarioRegistry reg;
+  auto identity = [](ExperimentConfig c) { return c; };
+  reg.add({"a/b", "d", "", RuntimeTier::kFast, identity});
+  EXPECT_THROW(reg.add({"a/b", "dup", "", RuntimeTier::kFast, identity}),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add({"", "empty", "", RuntimeTier::kFast, identity}), std::invalid_argument);
+  EXPECT_THROW(reg.add({"a/c", "no transform", "", RuntimeTier::kFast, nullptr}),
+               std::invalid_argument);
+}
+
+TEST(ScenarioDigestDocument, RoundTrips) {
+  std::vector<std::pair<std::string, std::uint64_t>> digests = {
+      {"b/two", 2ULL}, {"a/one", 18446744073709551615ULL}};
+  std::ostringstream os;
+  write_digest_document(os, digests);
+  std::istringstream is(os.str());
+  const auto parsed = parse_digest_document(is);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.at("a/one"), 18446744073709551615ULL);
+  EXPECT_EQ(parsed.at("b/two"), 2ULL);
+}
+
+TEST(ScenarioDigestDocument, RejectsGarbage) {
+  std::istringstream empty("");
+  EXPECT_THROW(parse_digest_document(empty), std::runtime_error);
+  std::istringstream wrong_schema("{\n  \"schema\": \"other\",\n  \"digests\": {\n  }\n}\n");
+  EXPECT_THROW(parse_digest_document(wrong_schema), std::runtime_error);
+  std::istringstream bad_value(
+      "{\n  \"schema\": \"dpjit-scenario-digests-v1\",\n  \"digests\": {\n"
+      "    \"a/b\": \"not-a-number\"\n  }\n}\n");
+  EXPECT_THROW(parse_digest_document(bad_value), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dpjit::exp

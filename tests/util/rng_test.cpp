@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <set>
 
 namespace dpjit::util {
@@ -152,6 +154,52 @@ TEST(Rng, SampleIndicesKGreaterThanN) {
   Rng rng(31);
   auto s = rng.sample_indices(5, 50);
   EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(Rng, NormalMatchesMomentsAndIsDeterministic) {
+  Rng rng(7);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.normal(0, 1), b.normal(0, 1));
+}
+
+TEST(Rng, LognormalIsPositiveWithHeavyRightTail) {
+  Rng rng(11);
+  const int n = 50000;
+  int above_geo_mean = 0;
+  double max_seen = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.lognormal(std::log(100.0), 1.5);
+    ASSERT_GT(x, 0.0);
+    if (x > 100.0) ++above_geo_mean;
+    max_seen = std::max(max_seen, x);
+  }
+  // The median of exp(N(mu, s)) is exp(mu); the tail reaches far above it.
+  EXPECT_NEAR(above_geo_mean / static_cast<double>(n), 0.5, 0.02);
+  EXPECT_GT(max_seen, 100.0 * 50);
+}
+
+TEST(Rng, ParetoRespectsScaleAndTailIndex) {
+  Rng rng(13);
+  const int n = 50000;
+  int beyond_double = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.pareto(5.0, 2.0);
+    ASSERT_GE(x, 5.0);
+    if (x > 10.0) ++beyond_double;
+  }
+  // P(X > 2*xm) = (1/2)^alpha = 1/4 for alpha = 2.
+  EXPECT_NEAR(beyond_double / static_cast<double>(n), 0.25, 0.02);
 }
 
 }  // namespace

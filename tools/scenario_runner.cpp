@@ -1,0 +1,122 @@
+// Scenario library front-end.
+//
+//   scenario_runner --list [--json]          enumerate registered scenarios
+//   scenario_runner --run=NAME [overrides]   run one scenario at full scale
+//   scenario_runner --digest [--run=NAME]    conformance digests (golden doc)
+//
+// `--digest` emits the canonical golden-digest document for every registered
+// scenario (or just NAME) at the small-n conformance preset — byte-identical
+// to tests/scenario/golden_digests.json, so regenerating the goldens is
+//
+//   ./scenario_runner --digest > tests/scenario/golden_digests.json
+//
+// Run overrides: --nodes, --workflows, --seed, --hours, --algorithm,
+// --small (applies the conformance preset before running).
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/reporters.hpp"
+#include "exp/scenario.hpp"
+#include "util/config.hpp"
+#include "util/json.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace dpjit;
+
+int list_scenarios(bool as_json) {
+  const auto& reg = exp::scenario_registry();
+  if (as_json) {
+    std::cout << "[\n";
+    const auto& all = reg.all();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const auto& s = all[i];
+      std::cout << "  {\"name\": \"" << util::json_escape(s.name) << "\", \"tier\": \""
+                << exp::to_string(s.tier) << "\", \"paper_section\": \""
+                << util::json_escape(s.paper_section) << "\", \"description\": \""
+                << util::json_escape(s.description) << "\"}" << (i + 1 < all.size() ? "," : "")
+                << "\n";
+    }
+    std::cout << "]\n";
+    return 0;
+  }
+  util::TablePrinter table({"scenario", "tier", "paper", "description"});
+  for (const auto& s : reg.all()) {
+    table.add_row({s.name, std::string(exp::to_string(s.tier)),
+                   s.paper_section.empty() ? "-" : s.paper_section, s.description});
+  }
+  table.print(std::cout);
+  std::cout << "\n" << reg.size() << " scenarios. Run one: scenario_runner --run=<name>\n";
+  return 0;
+}
+
+int emit_digests(const std::string& only) {
+  const auto& reg = exp::scenario_registry();
+  std::vector<std::pair<std::string, std::uint64_t>> digests;
+  for (const auto& s : reg.all()) {
+    if (!only.empty() && s.name != only) continue;
+    const int n = exp::conformance_nodes(s.config().nodes);
+    std::cerr << "digesting " << s.name << " (n=" << n << ")...\n";
+    digests.emplace_back(s.name, exp::conformance_digest(s));
+  }
+  if (!only.empty() && digests.empty()) {
+    std::cerr << "scenario_runner: unknown scenario '" << only << "' (try --list)\n";
+    return 1;
+  }
+  exp::write_digest_document(std::cout, digests);
+  return 0;
+}
+
+int run_scenario(const util::Config& cli, const std::string& name, bool as_json) {
+  const auto* scenario = exp::scenario_registry().find(name);
+  if (scenario == nullptr) {
+    std::cerr << "scenario_runner: unknown scenario '" << name << "' (try --list)\n";
+    return 1;
+  }
+
+  exp::ExperimentConfig cfg = scenario->config();
+  if (cli.get_bool("small", false)) cfg = exp::conformance_preset(std::move(cfg));
+  cfg.algorithm = cli.get_string("algorithm", cfg.algorithm);
+  cfg.nodes = static_cast<int>(cli.get_int("nodes", cfg.nodes));
+  cfg.workflows_per_node =
+      static_cast<int>(cli.get_int("workflows", cfg.workflows_per_node));
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+  cfg.system.horizon_s = cli.get_double("hours", cfg.system.horizon_s / 3600.0) * 3600.0;
+
+  std::cerr << "=== " << scenario->name << " ===\n"
+            << scenario->description << "\n"
+            << "nodes=" << cfg.nodes << " workflows/node=" << cfg.workflows_per_node
+            << " algorithm=" << cfg.algorithm << " horizon=" << cfg.system.horizon_s / 3600.0
+            << "h seed=" << cfg.seed << "\n\n";
+
+  const auto result = exp::run_experiment(cfg);
+
+  if (as_json) {
+    // Keep stdout pure JSON (the digest goes to stderr with the banner).
+    exp::write_results_json(std::cout, {result});
+    std::cerr << "result_digest: " << exp::result_digest(result) << "\n";
+  } else {
+    exp::print_summary_table(std::cout, {result});
+    std::cout << "\nthroughput over time:\n";
+    exp::print_time_series(std::cout, {result}, "throughput");
+    std::cout << "result_digest: " << exp::result_digest(result) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = util::Config::from_args(argc, argv);
+  const bool as_json = cli.get_bool("json", false);
+  // Accept both --run=NAME and a bare positional scenario name.
+  std::string name = cli.get_string("run", "");
+  if (name.empty() && !cli.positional().empty()) name = cli.positional().front();
+
+  if (cli.get_bool("digest", false)) return emit_digests(name);
+  if (cli.get_bool("list", false) || name.empty()) return list_scenarios(as_json);
+  return run_scenario(cli, name, as_json);
+}
