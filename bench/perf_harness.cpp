@@ -1,6 +1,6 @@
 // Performance-regression harness for the simulation hot path.
 //
-// Times three things and emits one JSON document (see BENCH_2.json for the
+// Times four things and emits one JSON document (see BENCH_*.json for the
 // recorded baseline-vs-current numbers):
 //   1. EventQueue micro-ops (schedule/pop and schedule/cancel throughput),
 //      both for the current sim::EventQueue and for a frozen copy of the
@@ -8,23 +8,34 @@
 //      lazy tombstone cancel) kept here as the reference point, so the
 //      speedup is always measured on the same machine in the same binary;
 //   2. all-pairs Routing construction over a Waxman topology;
-//   3. an end-to-end fig11-style run (one DSMF experiment at --nodes, full
+//   3. transfer-heavy fair-sharing benchmarks: a steady-state churn of 1k
+//      concurrent fluid flows and a mass node teardown, both for the current
+//      incremental grid::TransferManager and for a frozen copy of the pre-
+//      overhaul full-recompute fair path (one O(flows x links) max-min solve
+//      per flow event, one solve per doomed flow on teardown);
+//   4. an end-to-end fig11-style run (one DSMF experiment at --nodes, full
 //      36 h horizon) with a bitwise digest of the result metrics so perf
 //      changes that perturb simulation output are caught immediately.
 //
 // Usage: perf_harness [--quick] [--nodes=500] [--ops=6000000] [--seed=1]
+//                     [--tflows=1000] [--tcomps=600]
 //                     [--out=PATH]       (default: print JSON to stdout)
+#include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <limits>
 #include <queue>
 #include <sstream>
 #include <unordered_map>
+#include <vector>
 
 #include "exp/experiment.hpp"
+#include "grid/transfer_manager.hpp"
 #include "net/routing.hpp"
 #include "sim/event_queue.hpp"
 #include "util/config.hpp"
@@ -167,6 +178,272 @@ double bench_schedule_cancel_pop(std::size_t ops, std::uint64_t& sink) {
   return static_cast<double>(ops) / dt / 1e6;
 }
 
+/// Frozen copy of the pre-overhaul fair-sharing transfer path: full
+/// O(flows x links) max-min recompute (with the original order-dependent
+/// freeze pass) on every flow start/finish, and one full solve per doomed
+/// flow on node departure. Do not "fix" or modernize this type: it exists so
+/// BENCH_*.json transfer speedups stay reproducible on any machine.
+class BaselineFairManager {
+ public:
+  using CompletionFn = dpjit::sim::InlineFunction<void(bool)>;
+
+  BaselineFairManager(dpjit::sim::Engine& engine, const dpjit::net::Topology& topo,
+                      const dpjit::net::Routing& routing)
+      : engine_(engine), topo_(topo), routing_(routing) {}
+
+  std::uint64_t start(dpjit::NodeId src, dpjit::NodeId dst, double size_mb,
+                      CompletionFn on_done) {
+    const std::uint64_t id = next_id_++;
+    Flow flow;
+    flow.src = src;
+    flow.dst = dst;
+    flow.size_mb = size_mb;
+    flow.remaining_mb = size_mb;
+    flow.on_done = std::move(on_done);
+    flow.links = routing_.path_links(src, dst);
+    flow.latency_pending = true;
+    flows_.emplace(id, std::move(flow));
+    flows_.at(id).event = engine_.schedule_in(routing_.latency_s(src, dst),
+                                              [this, id] { fair_flow_started(id); });
+    return id;
+  }
+
+  void node_left(dpjit::NodeId n) {
+    std::vector<std::uint64_t> doomed;
+    for (const auto& [id, flow] : flows_) {
+      if (flow.src == n || flow.dst == n) doomed.push_back(id);
+    }
+    for (std::uint64_t id : doomed) finish(id, false);
+  }
+
+  [[nodiscard]] std::size_t active_count() const { return flows_.size(); }
+
+ private:
+  struct Flow {
+    dpjit::NodeId src;
+    dpjit::NodeId dst;
+    double size_mb = 0.0;
+    double remaining_mb = 0.0;
+    double rate_mbps = 0.0;
+    std::vector<dpjit::LinkId> links;
+    CompletionFn on_done;
+    dpjit::sim::EventQueue::Handle event = dpjit::sim::EventQueue::kInvalidHandle;
+    bool latency_pending = false;
+  };
+
+  /// The original sequential-freeze solver (mutates remaining/active mid-
+  /// round; order-dependent near ties - kept verbatim as the baseline).
+  static std::vector<double> solve(const std::vector<dpjit::net::FlowPath>& flows,
+                                   const std::vector<double>& caps) {
+    const std::size_t nf = flows.size();
+    std::vector<double> rate(nf, 0.0);
+    std::vector<char> frozen(nf, 0);
+    std::vector<double> remaining = caps;
+    std::vector<int> active(caps.size(), 0);
+    std::size_t unfrozen = 0;
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (flows[f].links.empty()) {
+        rate[f] = dpjit::kInf;
+        frozen[f] = 1;
+        continue;
+      }
+      ++unfrozen;
+      for (dpjit::LinkId l : flows[f].links) ++active[static_cast<std::size_t>(l.get())];
+    }
+    while (unfrozen > 0) {
+      double share = std::numeric_limits<double>::infinity();
+      for (std::size_t l = 0; l < remaining.size(); ++l) {
+        if (active[l] > 0) share = std::min(share, remaining[l] / active[l]);
+      }
+      if (!std::isfinite(share)) break;
+      share = std::max(share, 0.0);
+      bool froze_any = false;
+      for (std::size_t f = 0; f < nf; ++f) {
+        if (frozen[f]) continue;
+        bool bottlenecked = false;
+        for (dpjit::LinkId l : flows[f].links) {
+          const auto li = static_cast<std::size_t>(l.get());
+          if (remaining[li] / active[li] <= share * (1.0 + 1e-12)) {
+            bottlenecked = true;
+            break;
+          }
+        }
+        if (!bottlenecked) continue;
+        rate[f] = share;
+        frozen[f] = 1;
+        froze_any = true;
+        --unfrozen;
+        for (dpjit::LinkId l : flows[f].links) {
+          const auto li = static_cast<std::size_t>(l.get());
+          remaining[li] -= share;
+          if (remaining[li] < 0.0) remaining[li] = 0.0;
+          --active[li];
+        }
+      }
+      if (!froze_any) break;
+    }
+    return rate;
+  }
+
+  void finish(std::uint64_t id, bool success) {
+    auto it = flows_.find(id);
+    if (it == flows_.end()) return;
+    CompletionFn cb = std::move(it->second.on_done);
+    const bool was_fluid = !it->second.latency_pending;
+    engine_.cancel(it->second.event);
+    flows_.erase(it);
+    if (was_fluid) fair_recompute();
+    if (cb) cb(success);
+  }
+
+  void fair_flow_started(std::uint64_t id) {
+    auto it = flows_.find(id);
+    if (it == flows_.end()) return;
+    it->second.latency_pending = false;
+    if (it->second.remaining_mb <= 1e-9) {
+      finish(id, true);
+      return;
+    }
+    fair_recompute();
+  }
+
+  void fair_advance_to_now() {
+    const dpjit::SimTime now = engine_.now();
+    const double dt = now - fair_clock_;
+    if (dt > 0.0) {
+      for (auto& [id, flow] : flows_) {
+        if (flow.latency_pending) continue;
+        flow.remaining_mb = std::max(0.0, flow.remaining_mb - flow.rate_mbps * dt);
+      }
+    }
+    fair_clock_ = now;
+  }
+
+  void fair_recompute() {
+    fair_advance_to_now();
+    std::vector<std::uint64_t> done;
+    for (auto& [id, flow] : flows_) {
+      if (!flow.latency_pending && flow.remaining_mb <= 1e-9) done.push_back(id);
+    }
+    for (std::uint64_t id : done) finish(id, true);
+    if (!done.empty()) return;
+    std::vector<std::uint64_t> ids;
+    std::vector<dpjit::net::FlowPath> paths;
+    for (auto& [id, flow] : flows_) {
+      if (flow.latency_pending) continue;
+      ids.push_back(id);
+      paths.push_back(dpjit::net::FlowPath{flow.links});
+    }
+    if (!ids.empty()) {
+      std::vector<double> capacity;
+      capacity.reserve(topo_.link_count());
+      for (const auto& link : topo_.links()) capacity.push_back(link.bandwidth_mbps);
+      const auto rates = solve(paths, capacity);
+      for (std::size_t i = 0; i < ids.size(); ++i) flows_.at(ids[i]).rate_mbps = rates[i];
+    }
+    fair_schedule_next_completion();
+  }
+
+  void fair_schedule_next_completion() {
+    if (fair_event_armed_) {
+      engine_.cancel(fair_event_);
+      fair_event_armed_ = false;
+    }
+    double soonest = dpjit::kInf;
+    for (const auto& [id, flow] : flows_) {
+      if (flow.latency_pending || flow.rate_mbps <= 0.0) continue;
+      soonest = std::min(soonest, flow.remaining_mb / flow.rate_mbps);
+    }
+    if (!std::isfinite(soonest)) return;
+    fair_event_ = engine_.schedule_in(soonest, [this] {
+      fair_event_armed_ = false;
+      fair_recompute();
+    });
+    fair_event_armed_ = true;
+  }
+
+  dpjit::sim::Engine& engine_;
+  const dpjit::net::Topology& topo_;
+  const dpjit::net::Routing& routing_;
+  std::unordered_map<std::uint64_t, Flow> flows_;
+  std::uint64_t next_id_ = 1;
+  dpjit::sim::EventQueue::Handle fair_event_ = dpjit::sim::EventQueue::kInvalidHandle;
+  bool fair_event_armed_ = false;
+  dpjit::SimTime fair_clock_ = 0.0;
+};
+
+/// Thin adapter so both managers run under one benchmark driver.
+struct CurrentFairManager : dpjit::grid::TransferManager {
+  CurrentFairManager(dpjit::sim::Engine& engine, const dpjit::net::Topology& topo,
+                     const dpjit::net::Routing& routing)
+      : TransferManager(engine, topo, routing, Mode::kFairSharing) {}
+};
+
+/// Steady-state fluid churn: `concurrent` flows stay in flight (every
+/// completion immediately starts a replacement) until `target` completions.
+/// Returns completions per wall-clock second, timed after a warm-up that gets
+/// every initial flow past its latency phase.
+template <class Manager>
+double bench_fair_steady(const dpjit::net::Topology& topo, const dpjit::net::Routing& routing,
+                         std::size_t concurrent, std::uint64_t target, std::uint64_t& sink) {
+  using dpjit::NodeId;
+  dpjit::sim::Engine engine;
+  Manager tm(engine, topo, routing);
+  dpjit::util::Rng rng(42);
+  const int n = topo.node_count();
+  std::uint64_t completed = 0;
+  std::function<void()> spawn = [&] {
+    const auto src = NodeId{static_cast<int>(rng.index(static_cast<std::size_t>(n)))};
+    auto dst = NodeId{static_cast<int>(rng.index(static_cast<std::size_t>(n)))};
+    if (dst == src) dst = NodeId{(src.get() + 1) % n};
+    tm.start(src, dst, rng.uniform(5.0, 50.0), [&](bool) {
+      ++completed;
+      if (completed < target + concurrent) spawn();
+    });
+  };
+  for (std::size_t i = 0; i < concurrent; ++i) spawn();
+  engine.run_until(1.0);  // past every latency phase: the pool is fully fluid
+  const double t0 = now_s();
+  while (completed < target) {
+    if (!engine.step()) break;
+  }
+  const double dt = now_s() - t0;
+  sink += completed;
+  return static_cast<double>(target) / dt;
+}
+
+/// Mass teardown: `hub_flows` flows touch one victim node (plus background
+/// flows that survive); times node_left(victim). Returns milliseconds.
+template <class Manager>
+double bench_fair_teardown(const dpjit::net::Topology& topo, const dpjit::net::Routing& routing,
+                           std::size_t hub_flows, std::size_t background, std::uint64_t& sink) {
+  using dpjit::NodeId;
+  dpjit::sim::Engine engine;
+  Manager tm(engine, topo, routing);
+  dpjit::util::Rng rng(43);
+  const int n = topo.node_count();
+  const NodeId victim{0};
+  std::uint64_t aborted = 0;
+  for (std::size_t i = 0; i < hub_flows; ++i) {
+    auto dst = NodeId{static_cast<int>(rng.index(static_cast<std::size_t>(n)))};
+    if (dst == victim) dst = NodeId{1};
+    tm.start(victim, dst, rng.uniform(50.0, 500.0), [&](bool ok) { aborted += ok ? 0 : 1; });
+  }
+  for (std::size_t i = 0; i < background; ++i) {
+    auto src = NodeId{1 + static_cast<int>(rng.index(static_cast<std::size_t>(n - 1)))};
+    auto dst = NodeId{1 + static_cast<int>(rng.index(static_cast<std::size_t>(n - 1)))};
+    if (dst == src) dst = NodeId{1 + (src.get() % (n - 1))};
+    tm.start(src, dst, rng.uniform(50.0, 500.0), [&](bool) {});
+  }
+  engine.run_until(1.0);  // everything fluid
+  const double t0 = now_s();
+  tm.node_left(victim);
+  const double dt = now_s() - t0;
+  if (aborted != hub_flows) return -1.0;  // teardown must abort exactly the hub flows
+  sink += aborted;
+  return dt * 1e3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -176,6 +453,8 @@ int main(int argc, char** argv) {
   const auto ops = static_cast<std::size_t>(cli.get_int("ops", quick ? 500000 : 6000000));
   const int nodes = static_cast<int>(cli.get_int("nodes", quick ? 100 : 500));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto tflows = static_cast<std::size_t>(cli.get_int("tflows", 1000));
+  const auto tcomps = static_cast<std::uint64_t>(cli.get_int("tcomps", quick ? 150 : 600));
   const std::string out_path = cli.get_string("out", "-");
 
   std::uint64_t sink = 0;
@@ -184,7 +463,7 @@ int main(int argc, char** argv) {
   auto median3 = [](double a, double b, double c) {
     return std::max(std::min(a, b), std::min(std::max(a, b), c));
   };
-  std::fprintf(stderr, "[1/3] event-queue micro-ops (%zu ops/run)...\n", ops);
+  std::fprintf(stderr, "[1/4] event-queue micro-ops (%zu ops/run)...\n", ops);
   double base_sp[3], cur_sp[3], base_sc[3], cur_sc[3];
   for (int r = 0; r < 3; ++r) {
     base_sp[r] = bench_schedule_pop<BaselineEventQueue>(ops, sink);
@@ -198,7 +477,7 @@ int main(int argc, char** argv) {
   const double current_cancel = median3(cur_sc[0], cur_sc[1], cur_sc[2]);
 
   // --- 2. Routing construction ---------------------------------------------
-  std::fprintf(stderr, "[2/3] routing build (n=%d)...\n", nodes);
+  std::fprintf(stderr, "[2/4] routing build (n=%d)...\n", nodes);
   util::Rng topo_rng(seed);
   net::TopologyParams tp;
   tp.node_count = nodes;
@@ -218,8 +497,40 @@ int main(int argc, char** argv) {
     routing_ms = best;
   }
 
-  // --- 3. End-to-end fig11-style run ---------------------------------------
-  std::fprintf(stderr, "[3/3] end-to-end dsmf run (n=%d, 36 h horizon)...\n", nodes);
+  // --- 3. Transfer-heavy fair-sharing benchmarks ----------------------------
+  // Fixed 128-node topology regardless of --nodes: the metric is flow-event
+  // throughput at --tflows concurrent fluid flows, not topology scale.
+  std::fprintf(stderr, "[3/4] fair-sharing transfers (%zu concurrent, %llu completions)...\n",
+               tflows, static_cast<unsigned long long>(tcomps));
+  double base_steady = 0.0, cur_steady = 0.0, base_teardown = 0.0, cur_teardown = 0.0;
+  {
+    util::Rng trng(7);
+    net::TopologyParams tp;
+    tp.node_count = 128;
+    const auto ttopo = net::Topology::generate_waxman(tp, trng);
+    const net::Routing trouting(ttopo);
+    const std::size_t hub = tflows * 3 / 10;
+    const std::size_t background = tflows - hub;
+    // Alternate baseline/current to share whatever load regime the box is in.
+    double bs[2], cs[2], bt[2], ct[2];
+    for (int r = 0; r < 2; ++r) {
+      bs[r] = bench_fair_steady<BaselineFairManager>(ttopo, trouting, tflows, tcomps, sink);
+      cs[r] = bench_fair_steady<CurrentFairManager>(ttopo, trouting, tflows, tcomps, sink);
+      bt[r] = bench_fair_teardown<BaselineFairManager>(ttopo, trouting, hub, background, sink);
+      ct[r] = bench_fair_teardown<CurrentFairManager>(ttopo, trouting, hub, background, sink);
+    }
+    base_steady = std::max(bs[0], bs[1]);
+    cur_steady = std::max(cs[0], cs[1]);
+    base_teardown = std::min(bt[0], bt[1]);
+    cur_teardown = std::min(ct[0], ct[1]);
+    if (bt[0] < 0.0 || ct[0] < 0.0 || bt[1] < 0.0 || ct[1] < 0.0) {
+      std::cerr << "perf_harness: teardown benchmark self-check failed\n";
+      return 1;
+    }
+  }
+
+  // --- 4. End-to-end fig11-style run ---------------------------------------
+  std::fprintf(stderr, "[4/4] end-to-end dsmf run (n=%d, 36 h horizon)...\n", nodes);
   exp::ExperimentConfig cfg;
   cfg.algorithm = "dsmf";
   cfg.nodes = nodes;
@@ -248,6 +559,17 @@ int main(int argc, char** argv) {
     w.kv("nodes", static_cast<std::int64_t>(nodes));
     w.kv("build_ms", routing_ms);
     w.kv("mean_pair_bandwidth_mbps", routing_mean_bw);
+    w.end_object();
+    w.key("transfer").begin_object();
+    w.kv("topology_nodes", static_cast<std::int64_t>(128));
+    w.kv("concurrent_flows", static_cast<std::uint64_t>(tflows));
+    w.kv("completions", tcomps);
+    w.kv("baseline_steady_completions_per_s", base_steady);
+    w.kv("current_steady_completions_per_s", cur_steady);
+    w.kv("fair_sharing_speedup", cur_steady / base_steady);
+    w.kv("baseline_teardown_ms", base_teardown);
+    w.kv("current_teardown_ms", cur_teardown);
+    w.kv("teardown_speedup", base_teardown / std::max(cur_teardown, 1e-9));
     w.end_object();
     w.key("end_to_end").begin_object();
     w.kv("nodes", static_cast<std::int64_t>(nodes));
@@ -281,9 +603,13 @@ int main(int argc, char** argv) {
                "schedule/pop  %.2f -> %.2f Mops/s (%.2fx)\n"
                "schedule/cancel/pop %.2f -> %.2f Mops/s (%.2fx)\n"
                "routing build n=%d: %.1f ms\n"
+               "fair steady-state %.0f -> %.0f completions/s (%.2fx)\n"
+               "fair teardown %.2f -> %.2f ms (%.1fx)\n"
                "end-to-end n=%d: %.2f s wall, %llu events (%.0f events/s)\n",
                baseline_pop, current_pop, current_pop / baseline_pop, baseline_cancel,
-               current_cancel, current_cancel / baseline_cancel, nodes, routing_ms, nodes, e2e_wall,
+               current_cancel, current_cancel / baseline_cancel, nodes, routing_ms, base_steady,
+               cur_steady, cur_steady / base_steady, base_teardown, cur_teardown,
+               base_teardown / std::max(cur_teardown, 1e-9), nodes, e2e_wall,
                static_cast<unsigned long long>(result.events_processed),
                static_cast<double>(result.events_processed) / e2e_wall);
   return sink == 0xdeadbeef ? 2 : 0;

@@ -122,7 +122,9 @@ GridSystem::GridSystem(sim::Engine& engine, const net::Topology& topo,
     throw std::invalid_argument("GridSystem: capacities size != node count");
   }
   nodes_.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) nodes_.emplace_back(NodeId{i}, capacities[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < n; ++i) {
+    nodes_.emplace_back(NodeId{i}, capacities[static_cast<std::size_t>(i)]);
+  }
   home_workflows_.resize(static_cast<std::size_t>(n));
   running_event_.resize(static_cast<std::size_t>(n), sim::EventQueue::kInvalidHandle);
 
@@ -478,6 +480,13 @@ void GridSystem::on_task_complete(NodeId id) {
 void GridSystem::on_task_finished_at_home(TaskRef ref, SimTime finished_at) {
   auto& wf = workflows_[static_cast<std::size_t>(ref.workflow.get())];
   if (wf.done()) return;
+  auto& rt = wf.tasks[static_cast<std::size_t>(ref.task.get())];
+  // Drop stale notifications: churn recovery may have demoted this task (its
+  // output died with the execution node) between completion and this message
+  // arriving at the home node; decrementing successor counts for a no-longer-
+  // finished precedent would double-count once the re-execution completes.
+  if (rt.state != TaskState::kFinished || rt.finished_at != finished_at) return;
+  rt.finish_notified = true;
 
   // Successors whose precedents are now all finished become schedule points.
   // Just-in-time algorithms dispatch them at the next scheduling cycle;

@@ -52,6 +52,11 @@ struct TaskRuntime {
   SimTime finished_at = kNoTime;
   /// Precedents not yet known-finished at the home node.
   int unfinished_preds = 0;
+  /// The home node processed this task's completion notification (successor
+  /// counts were decremented). Distinguishes finished-and-notified from
+  /// finished-with-notification-in-flight when churn recovery demotes a
+  /// finished precedent whose output data died with its execution node.
+  bool finish_notified = false;
 };
 
 /// A submitted workflow and its execution progress (home-node view).
@@ -182,6 +187,8 @@ class GridSystem {
   // --- rescheduling extension (reschedule.cpp) ---
   void recover_failed_tasks();
   void recover_task(WorkflowInstance& wf, TaskIndex task, int depth);
+  /// Precedents of `task` the home node does not (yet) know finished.
+  [[nodiscard]] int unfinished_pred_count(const WorkflowInstance& wf, TaskIndex task) const;
 
   // --- helpers ---
   [[nodiscard]] std::vector<TaskIndex> schedule_points(const WorkflowInstance& wf) const;

@@ -26,6 +26,20 @@ void GridSystem::recover_failed_tasks() {
   }
 }
 
+int GridSystem::unfinished_pred_count(const WorkflowInstance& wf, TaskIndex task) const {
+  // `unfinished_preds` counts precedents whose completion the home node has
+  // not (yet) processed - the decrement happens when the finish notification
+  // arrives (on_task_finished_at_home), not when the task finishes at its
+  // execution node. Recomputing must therefore treat a finished-but-not-yet-
+  // notified precedent as unfinished, matching the decrement bookkeeping.
+  int unfinished = 0;
+  for (TaskIndex p : wf.dag.predecessors(task)) {
+    const auto& prt = wf.tasks[static_cast<std::size_t>(p.get())];
+    if (prt.state != TaskState::kFinished || !prt.finish_notified) ++unfinished;
+  }
+  return unfinished;
+}
+
 void GridSystem::recover_task(WorkflowInstance& wf, TaskIndex task, int depth) {
   assert(depth <= static_cast<int>(wf.tasks.size()) && "recovery recursion exceeds DAG depth");
   auto& rt = wf.tasks[static_cast<std::size_t>(task.get())];
@@ -40,16 +54,21 @@ void GridSystem::recover_task(WorkflowInstance& wf, TaskIndex task, int depth) {
         !nodes_[static_cast<std::size_t>(prt.exec_node.get())].alive()) {
       // Demote: the data died with the node. Successors other than `task`
       // that were still waiting on schedule must wait for the re-execution.
+      // Every waiting/schedulable/failed successor has its precedent count
+      // recomputed from the precedent states rather than incremented: a blind
+      // increment double-counts p for a successor whose completion
+      // notification was still in flight (the stale-notification guard in
+      // on_task_finished_at_home drops that notification), and failed
+      // successors previously kept a stale count until their own recovery.
       prt.state = TaskState::kFailed;
+      prt.finish_notified = false;
       --wf.finished_tasks;
       ++wf.failed_tasks;
       for (TaskIndex s : wf.dag.successors(p)) {
         auto& srt = wf.tasks[static_cast<std::size_t>(s.get())];
-        if (srt.state == TaskState::kSchedulable) {
-          srt.state = TaskState::kWaiting;
-          ++srt.unfinished_preds;
-        } else if (srt.state == TaskState::kWaiting) {
-          ++srt.unfinished_preds;
+        if (srt.state == TaskState::kSchedulable) srt.state = TaskState::kWaiting;
+        if (srt.state == TaskState::kWaiting || srt.state == TaskState::kFailed) {
+          srt.unfinished_preds = unfinished_pred_count(wf, s);
         }
       }
     }
@@ -57,14 +76,11 @@ void GridSystem::recover_task(WorkflowInstance& wf, TaskIndex task, int depth) {
   }
 
   // Return this task to the just-in-time pipeline.
-  int unfinished = 0;
-  for (TaskIndex p : wf.dag.predecessors(task)) {
-    const auto& prt = wf.tasks[static_cast<std::size_t>(p.get())];
-    if (prt.state != TaskState::kFinished) ++unfinished;
-  }
+  const int unfinished = unfinished_pred_count(wf, task);
   rt.unfinished_preds = unfinished;
   rt.state = unfinished == 0 ? TaskState::kSchedulable : TaskState::kWaiting;
   rt.exec_node = NodeId{};
+  rt.finish_notified = false;
   rt.dispatched_at = rt.started_at = rt.finished_at = kNoTime;
   --wf.failed_tasks;
   ++tasks_rescheduled_;

@@ -71,6 +71,30 @@ ScenarioRegistry build_registry() {
              c.set_data_range(100, 10000);
            })});
 
+  // --- contended network: the fair-sharing ablation ------------------------
+  // Permanent end-to-end cover for the fluid max-min transfer stack (the
+  // incremental solver, zero-rate guard and batched churn teardown), at the
+  // transfer-bound CCR so link contention actually shapes the outcome.
+  reg.add({"contention/fair-static",
+           "static environment under max-min fair link sharing: data-heavy CCR ~ 16 "
+           "(100-10000 Mb) so concurrent transfers genuinely contend",
+           "", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.fair_sharing = true;
+             c.set_load_range(10, 1000);
+             c.set_data_range(100, 10000);
+           })});
+  reg.add({"contention/fair-churn",
+           "fair link sharing under churn (dynamic factor 0.2): node departures mass-abort "
+           "contending flows, exercising the batched fluid teardown path",
+           "", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.fair_sharing = true;
+             c.dynamic_factor = 0.2;
+             c.set_load_range(10, 1000);
+             c.set_data_range(100, 10000);
+           })});
+
   // --- extension workloads beyond the paper --------------------------------
   reg.add({"open/poisson-arrivals",
            "open model: each home submits 4 workflows with exponential inter-arrivals "

@@ -9,11 +9,19 @@ namespace dpjit::grid {
 namespace {
 /// Remaining volume below this is considered delivered (numerical slack).
 constexpr double kEpsilonMb = 1e-9;
+
+std::vector<double> link_capacities(const net::Topology& topo) {
+  std::vector<double> caps;
+  caps.reserve(topo.link_count());
+  for (const auto& link : topo.links()) caps.push_back(link.bandwidth_mbps);
+  return caps;
+}
 }  // namespace
 
 TransferManager::TransferManager(sim::Engine& engine, const net::Topology& topo,
                                  const net::Routing& routing, Mode mode)
-    : engine_(engine), topo_(topo), routing_(routing), mode_(mode) {}
+    : engine_(engine), topo_(topo), routing_(routing), mode_(mode),
+      solver_(link_capacities(topo)) {}
 
 std::uint64_t TransferManager::start(NodeId src, NodeId dst, double size_mb,
                                      CompletionFn on_done) {
@@ -44,7 +52,16 @@ std::uint64_t TransferManager::start(NodeId src, NodeId dst, double size_mb,
   }
 
   if (mode_ == Mode::kBottleneck) {
-    const double duration = latency + size_mb / routing_.bandwidth_mbps(src, dst);
+    const double bandwidth = routing_.bandwidth_mbps(src, dst);
+    if (bandwidth <= 0.0) {
+      // Path crosses a zero-capacity link: infinite duration, treat like an
+      // unreachable pair instead of scheduling an event at t = +inf.
+      auto [it, ok] = flows_.emplace(id, std::move(flow));
+      (void)ok;
+      it->second.event = engine_.schedule_in(0.0, [this, id] { finish(id, false); });
+      return id;
+    }
+    const double duration = latency + size_mb / bandwidth;
     auto [it, ok] = flows_.emplace(id, std::move(flow));
     (void)ok;
     it->second.event = engine_.schedule_in(duration, [this, id] { finish(id, true); });
@@ -62,18 +79,19 @@ std::uint64_t TransferManager::start(NodeId src, NodeId dst, double size_mb,
 void TransferManager::finish(std::uint64_t id, bool success) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
+  if (it->second.fluid) {
+    // Single-flow fluid removal is the batch resolve with one element, so
+    // the two paths cannot drift apart.
+    fair_resolve_batch({id}, success);
+    return;
+  }
   CompletionFn cb = std::move(it->second.on_done);
-  const bool was_fluid = mode_ == Mode::kFairSharing && !it->second.latency_pending &&
-                         it->second.src != it->second.dst;
+  engine_.cancel(it->second.event);
   if (success) {
     ++completed_;
     delivered_mb_ += it->second.size_mb;
   }
-  engine_.cancel(it->second.event);
   flows_.erase(it);
-  if (was_fluid) {
-    fair_recompute();
-  }
   if (cb) cb(success);
 }
 
@@ -82,7 +100,15 @@ void TransferManager::node_left(NodeId n) {
   for (const auto& [id, flow] : flows_) {
     if (flow.src == n || flow.dst == n) doomed.push_back(id);
   }
-  for (std::uint64_t id : doomed) finish(id, false);
+  if (mode_ == Mode::kFairSharing) {
+    // Churn teardown: one batched re-solve for every doomed flow instead of a
+    // full recompute per flow; sorted so the callback order is deterministic
+    // (the collection above iterates in hash-map order).
+    std::sort(doomed.begin(), doomed.end());
+    fair_resolve_batch(doomed, false);
+  } else {
+    for (std::uint64_t id : doomed) finish(id, false);
+  }
 }
 
 bool TransferManager::abort(std::uint64_t id) {
@@ -96,13 +122,39 @@ bool TransferManager::abort(std::uint64_t id) {
 void TransferManager::fair_flow_started(std::uint64_t id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
-  it->second.latency_pending = false;
-  it->second.last_update = engine_.now();
-  if (it->second.remaining_mb <= kEpsilonMb) {
+  Flow& flow = it->second;
+  assert(flow.latency_pending && !flow.fluid);
+  flow.latency_pending = false;
+  // The latency event is firing right now: invalidate the handle so finish()
+  // never cancels a stale one (the slot may be reused by an unrelated event).
+  flow.event = sim::EventQueue::kInvalidHandle;
+  // Sync the fluid clock BEFORE the flow joins the pool. With an empty pool
+  // nothing accrues, so this is what keeps a manager whose first fluid flow
+  // starts at t > 0 from integrating a bogus [0, now] window later on.
+  fair_advance_to_now();
+  if (flow.remaining_mb <= kEpsilonMb) {
     finish(id, true);
     return;
   }
-  fair_recompute();
+  flow.fluid = true;
+  solver_.add(id, flow.links);
+  fair_apply_updated_rates();
+  fair_abort_stalled();
+  fair_schedule_next_completion();
+}
+
+void TransferManager::fair_abort_stalled() {
+  // In practice only a newly added flow crossing a zero-capacity link gets
+  // rate <= 0 (removals never lower surviving rates), but the scan over the
+  // re-solved component is cheap, and running it after every mutation makes
+  // the no-zero-rate-fluid-flow invariant unconditional.
+  std::vector<std::uint64_t> stalled;
+  for (const auto& [fid, rate] : solver_.updated()) {
+    if (rate <= 0.0) stalled.push_back(fid);
+  }
+  if (stalled.empty()) return;
+  std::sort(stalled.begin(), stalled.end());
+  fair_resolve_batch(stalled, false);  // recursion bounded: each pass removes flows
 }
 
 void TransferManager::fair_advance_to_now() {
@@ -110,42 +162,59 @@ void TransferManager::fair_advance_to_now() {
   const double dt = now - fair_clock_;
   if (dt > 0.0) {
     for (auto& [id, flow] : flows_) {
-      if (flow.latency_pending || flow.src == flow.dst) continue;
+      if (!flow.fluid) continue;
       flow.remaining_mb = std::max(0.0, flow.remaining_mb - flow.rate_mbps * dt);
     }
   }
   fair_clock_ = now;
 }
 
-void TransferManager::fair_recompute() {
+void TransferManager::fair_apply_updated_rates() {
+  for (const auto& [fid, rate] : solver_.updated()) {
+    auto it = flows_.find(fid);
+    assert(it != flows_.end() && it->second.fluid);
+    it->second.rate_mbps = rate;
+  }
+}
+
+void TransferManager::fair_resolve_batch(const std::vector<std::uint64_t>& ids, bool success) {
+  assert(mode_ == Mode::kFairSharing);
+  if (ids.empty()) return;
   fair_advance_to_now();
-
-  // Deliver anything that crossed the finish line while rates were stale.
-  std::vector<std::uint64_t> done;
-  for (auto& [id, flow] : flows_) {
-    if (!flow.latency_pending && flow.src != flow.dst && flow.remaining_mb <= kEpsilonMb) {
-      done.push_back(id);
+  std::vector<std::uint64_t> fluid_ids;
+  std::vector<CompletionFn> callbacks;
+  fluid_ids.reserve(ids.size());
+  callbacks.reserve(ids.size());
+  for (const std::uint64_t id : ids) {
+    auto it = flows_.find(id);
+    assert(it != flows_.end());
+    Flow& flow = it->second;
+    if (flow.fluid) {
+      assert(flow.event == sim::EventQueue::kInvalidHandle);
+      fluid_ids.push_back(id);
+    } else {
+      // Latency-phase or loopback flow (node teardown): kill its timer.
+      engine_.cancel(flow.event);
     }
+    if (success) {
+      ++completed_;
+      delivered_mb_ += flow.size_mb;
+    }
+    callbacks.push_back(std::move(flow.on_done));
+    flows_.erase(it);
   }
-  for (std::uint64_t id : done) finish(id, true);  // finish() re-enters fair_recompute
-  if (!done.empty()) return;
-
-  // Solve max-min fairness for the active fluid flows.
-  std::vector<std::uint64_t> ids;
-  std::vector<net::FlowPath> paths;
-  for (auto& [id, flow] : flows_) {
-    if (flow.latency_pending || flow.src == flow.dst) continue;
-    ids.push_back(id);
-    paths.push_back(net::FlowPath{flow.links});
-  }
-  if (!ids.empty()) {
-    std::vector<double> capacity;
-    capacity.reserve(topo_.link_count());
-    for (const auto& link : topo_.links()) capacity.push_back(link.bandwidth_mbps);
-    const auto rates = net::max_min_fair_rates(paths, capacity);
-    for (std::size_t i = 0; i < ids.size(); ++i) flows_.at(ids[i]).rate_mbps = rates[i];
+  if (!fluid_ids.empty()) {
+    solver_.remove_batch(fluid_ids);
+    fair_apply_updated_rates();
+    fair_abort_stalled();
   }
   fair_schedule_next_completion();
+  // Callbacks fire last, against fully consistent state: they may re-enter
+  // start()/abort() (the grid restarts lost input transfers from the home
+  // node, for example).
+  for (auto& cb : callbacks) {
+    if (cb) cb(success);
+  }
 }
 
 void TransferManager::fair_schedule_next_completion() {
@@ -155,15 +224,42 @@ void TransferManager::fair_schedule_next_completion() {
   }
   double soonest = kInf;
   for (const auto& [id, flow] : flows_) {
-    if (flow.latency_pending || flow.src == flow.dst || flow.rate_mbps <= 0.0) continue;
+    if (!flow.fluid) continue;
+    assert(flow.rate_mbps > 0.0 && "zero-rate fluid flow survived the stall guard");
+    if (flow.rate_mbps <= 0.0) continue;  // defensive in release builds
     soonest = std::min(soonest, flow.remaining_mb / flow.rate_mbps);
   }
   if (!std::isfinite(soonest)) return;
   fair_event_ = engine_.schedule_in(soonest, [this] {
     fair_event_armed_ = false;
-    fair_recompute();
+    fair_tick();
   });
   fair_event_armed_ = true;
+}
+
+void TransferManager::fair_tick() {
+  fair_advance_to_now();
+  std::vector<std::uint64_t> done;
+  const SimTime now = engine_.now();
+  for (const auto& [id, flow] : flows_) {
+    if (!flow.fluid) continue;
+    // Delivered - or so close that the completion event could not advance
+    // simulated time: with a sub-ulp remaining/rate, re-arming would fire at
+    // exactly `now` again with dt == 0 and spin forever.
+    if (flow.remaining_mb <= kEpsilonMb ||
+        now + flow.remaining_mb / flow.rate_mbps <= now) {
+      done.push_back(id);
+    }
+  }
+  std::sort(done.begin(), done.end());
+  if (done.empty()) {
+    // Numerical under-shoot: re-arm and let the frontier catch up. Every
+    // surviving flow's completion lies measurably past `now` (the sub-ulp
+    // cases were just delivered), so the next tick makes progress.
+    fair_schedule_next_completion();
+    return;
+  }
+  fair_resolve_batch(done, true);
 }
 
 }  // namespace dpjit::grid

@@ -5,14 +5,20 @@
 //    latency(path) + size / bottleneck-bandwidth(path); transfers do not
 //    contend with each other.
 //  - kFairSharing (ablation): live fluid model where concurrent transfers
-//    crossing a link share it max-min fairly; rates are recomputed whenever a
-//    flow starts or ends (SimGrid-style progressive filling).
+//    crossing a link share it max-min fairly (SimGrid-style progressive
+//    filling). Rates are re-solved incrementally through net::FairShareSolver
+//    whenever a flow starts or ends: only the affected bottleneck component
+//    is recomputed, and churn-driven mass teardown (node_left) removes every
+//    doomed flow with a single batched re-solve. A flow whose path crosses a
+//    saturated/zero-capacity link gets rate 0 and can never complete; such
+//    flows are aborted immediately instead of stalling forever.
 //
 // Transfers abort with success=false when either endpoint leaves the system.
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "net/flow_sharing.hpp"
 #include "net/routing.hpp"
@@ -37,6 +43,8 @@ class TransferManager {
   std::uint64_t start(NodeId src, NodeId dst, double size_mb, CompletionFn on_done);
 
   /// Aborts every in-flight transfer with an endpoint at `n` (node departure).
+  /// In fair-sharing mode all doomed flows leave the fluid pool with one
+  /// batched rate re-solve (id-ascending callback order).
   void node_left(NodeId n);
 
   /// Aborts one transfer by id; false if already completed.
@@ -53,28 +61,42 @@ class TransferManager {
     NodeId dst;
     double size_mb = 0.0;
     double remaining_mb = 0.0;
-    double rate_mbps = 0.0;          // current allocated rate (fair mode)
-    SimTime last_update = 0.0;       // fair mode: when remaining_mb was valid
-    std::vector<LinkId> links;       // fair mode: route
+    double rate_mbps = 0.0;      ///< current allocated rate (fair mode)
+    std::vector<LinkId> links;   ///< fair mode: route
     CompletionFn on_done;
-    /// Bottleneck-mode completion event.
+    /// Bottleneck-mode completion / fair-mode latency-phase event. Cleared
+    /// (kInvalidHandle) the moment the latency phase ends so no later path
+    /// can cancel a stale, potentially reused handle.
     sim::EventQueue::Handle event = sim::EventQueue::kInvalidHandle;
-    bool latency_pending = false;       // fair mode: still in propagation delay
+    bool latency_pending = false;  ///< fair mode: still in propagation delay
+    bool fluid = false;            ///< fair mode: joined the fluid pool
   };
 
   void finish(std::uint64_t id, bool success);
 
   // --- fair-sharing machinery ---
   void fair_flow_started(std::uint64_t id);
-  void fair_recompute();
+  /// Integrates remaining_mb of every fluid flow up to engine time.
   void fair_advance_to_now();
+  /// Pulls solver_.updated() into the flows' rate_mbps.
+  void fair_apply_updated_rates();
+  /// Zero-rate stall guard: aborts any fluid flow the last re-solve left
+  /// with rate <= 0 (saturated/zero-capacity link) - such a flow can never
+  /// complete and no completion event could be armed for it.
+  void fair_abort_stalled();
+  /// Resolves a sorted batch of flows (completion or abort): one batched
+  /// solver removal, stats, erase, reschedule, then the callbacks.
+  void fair_resolve_batch(const std::vector<std::uint64_t>& ids, bool success);
   void fair_schedule_next_completion();
+  /// The armed completion event: delivers every flow that crossed the line.
+  void fair_tick();
 
   sim::Engine& engine_;
   const net::Topology& topo_;
   const net::Routing& routing_;
   Mode mode_;
   std::unordered_map<std::uint64_t, Flow> flows_;
+  net::FairShareSolver solver_;
   std::uint64_t next_id_ = 1;
   std::uint64_t completed_ = 0;
   double delivered_mb_ = 0.0;

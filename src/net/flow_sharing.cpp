@@ -5,6 +5,15 @@
 #include <limits>
 
 namespace dpjit::net {
+namespace {
+
+/// Relative slack when testing whether a link saturates at the current round
+/// share: keeps ties robust against last-ulp division noise. Links within
+/// this band of the minimum freeze together (round-synchronously), which is
+/// what makes the result independent of flow order.
+constexpr double kShareTolerance = 1e-12;
+
+}  // namespace
 
 std::vector<double> max_min_fair_rates(const std::vector<FlowPath>& flows,
                                        const std::vector<double>& link_capacity_mbps) {
@@ -15,6 +24,7 @@ std::vector<double> max_min_fair_rates(const std::vector<FlowPath>& flows,
   // Remaining capacity per link and the number of unfrozen flows crossing it.
   std::vector<double> remaining = link_capacity_mbps;
   std::vector<int> active_count(link_capacity_mbps.size(), 0);
+  std::vector<char> bottleneck(link_capacity_mbps.size(), 0);
 
   std::size_t unfrozen = 0;
   for (std::size_t f = 0; f < nf; ++f) {
@@ -31,7 +41,7 @@ std::vector<double> max_min_fair_rates(const std::vector<FlowPath>& flows,
   }
 
   while (unfrozen > 0) {
-    // Find the link with the smallest fair share among links carrying flows.
+    // Find the smallest fair share among links carrying unfrozen flows.
     double share = std::numeric_limits<double>::infinity();
     for (std::size_t l = 0; l < remaining.size(); ++l) {
       if (active_count[l] > 0) {
@@ -41,15 +51,22 @@ std::vector<double> max_min_fair_rates(const std::vector<FlowPath>& flows,
     if (!std::isfinite(share)) break;  // defensive: no constrained link left
     share = std::max(share, 0.0);
 
-    // Freeze every unfrozen flow crossing a link that saturates at `share`.
-    // (Comparing the fair share with a small tolerance keeps this robust.)
+    // Round-synchronous freeze: mark every link that saturates at `share`
+    // BEFORE subtracting any capacity. A link with ratio > share keeps
+    // ratio > share under the subtractions below, so computing the mask from
+    // pre-round state is what a sequential freeze gets wrong: mid-round
+    // mutation can flip near-tie comparisons depending on flow order.
+    for (std::size_t l = 0; l < remaining.size(); ++l) {
+      bottleneck[l] = active_count[l] > 0 &&
+                      remaining[l] / active_count[l] <= share * (1.0 + kShareTolerance);
+    }
+
     bool froze_any = false;
     for (std::size_t f = 0; f < nf; ++f) {
       if (frozen[f]) continue;
       bool bottlenecked = false;
       for (LinkId l : flows[f].links) {
-        const auto li = static_cast<std::size_t>(l.get());
-        if (remaining[li] / active_count[li] <= share * (1.0 + 1e-12)) {
+        if (bottleneck[static_cast<std::size_t>(l.get())]) {
           bottlenecked = true;
           break;
         }
@@ -69,6 +86,199 @@ std::vector<double> max_min_fair_rates(const std::vector<FlowPath>& flows,
     if (!froze_any) break;  // defensive: numerical stalemate
   }
   return rate;
+}
+
+// ---------------------------------------------------------------------------
+// FairShareSolver
+// ---------------------------------------------------------------------------
+
+FairShareSolver::FairShareSolver(std::vector<double> link_capacity_mbps)
+    : caps_(std::move(link_capacity_mbps)),
+      link_flows_(caps_.size()),
+      link_mark_(caps_.size(), 0),
+      remaining_(caps_.size(), 0.0),
+      active_(caps_.size(), 0),
+      bottleneck_(caps_.size(), 0) {}
+
+void FairShareSolver::add(std::uint64_t id, std::vector<LinkId> links) {
+  auto [it, inserted] = flows_.emplace(id, FlowRec{});
+  assert(inserted && "FairShareSolver::add: duplicate flow id");
+  (void)inserted;
+  FlowRec& rec = it->second;
+  rec.links = std::move(links);
+  if (rec.links.empty()) {
+    rec.rate = kInf;  // loopback: no shared resource, no component
+    updated_.clear();
+    updated_.emplace_back(id, kInf);
+    return;
+  }
+  rec.slot.resize(rec.links.size());
+  for (std::size_t k = 0; k < rec.links.size(); ++k) {
+    const LinkId l = rec.links[k];
+    assert(l.valid() && static_cast<std::size_t>(l.get()) < caps_.size());
+    auto& slots = link_flows_[static_cast<std::size_t>(l.get())];
+    rec.slot[k] = static_cast<std::uint32_t>(slots.size());
+    slots.push_back(LinkSlot{id, static_cast<std::uint32_t>(k)});
+  }
+  ++epoch_;
+  collect_component(rec.links);
+  solve_component();
+}
+
+void FairShareSolver::unlink(FlowRec& rec) {
+  for (std::size_t k = 0; k < rec.links.size(); ++k) {
+    auto& slots = link_flows_[static_cast<std::size_t>(rec.links[k].get())];
+    const std::uint32_t s = rec.slot[k];
+    assert(s < slots.size());
+    slots[s] = slots.back();
+    slots.pop_back();
+    if (s < slots.size()) {
+      // Fix the back-pointer of the entry that swap-erase moved into slot s
+      // (it may belong to this very flow when the path crosses a link twice).
+      const LinkSlot moved = slots[s];
+      flows_.find(moved.flow)->second.slot[moved.path_index] = s;
+    }
+  }
+}
+
+void FairShareSolver::remove(std::uint64_t id) {
+  const auto it = flows_.find(id);
+  assert(it != flows_.end() && "FairShareSolver::remove: unknown flow id");
+  unlink(it->second);
+  const std::vector<LinkId> seed = std::move(it->second.links);
+  flows_.erase(it);
+  ++epoch_;
+  collect_component(seed);
+  solve_component();
+}
+
+void FairShareSolver::remove_batch(const std::vector<std::uint64_t>& ids) {
+  std::vector<LinkId> seed;
+  for (const std::uint64_t id : ids) {
+    const auto it = flows_.find(id);
+    assert(it != flows_.end() && "FairShareSolver::remove_batch: unknown flow id");
+    unlink(it->second);
+    seed.insert(seed.end(), it->second.links.begin(), it->second.links.end());
+    flows_.erase(it);
+  }
+  ++epoch_;
+  collect_component(seed);
+  solve_component();
+}
+
+double FairShareSolver::rate(std::uint64_t id) const {
+  const auto it = flows_.find(id);
+  assert(it != flows_.end() && "FairShareSolver::rate: unknown flow id");
+  return it->second.rate;
+}
+
+void FairShareSolver::collect_component(const std::vector<LinkId>& seed_links) {
+  comp_links_.clear();
+  comp_flows_.clear();
+  for (const LinkId l : seed_links) {
+    const auto li = static_cast<std::uint32_t>(l.get());
+    if (link_mark_[li] != epoch_) {
+      link_mark_[li] = epoch_;
+      comp_links_.push_back(li);
+    }
+  }
+  // BFS over the flow/link sharing graph; comp_links_ doubles as the frontier.
+  for (std::size_t head = 0; head < comp_links_.size(); ++head) {
+    for (const LinkSlot& s : link_flows_[comp_links_[head]]) {
+      FlowRec& f = flows_.find(s.flow)->second;
+      if (f.mark == epoch_) continue;
+      f.mark = epoch_;
+      comp_flows_.push_back(s.flow);
+      for (const LinkId fl : f.links) {
+        const auto li = static_cast<std::uint32_t>(fl.get());
+        if (link_mark_[li] != epoch_) {
+          link_mark_[li] = epoch_;
+          comp_links_.push_back(li);
+        }
+      }
+    }
+  }
+}
+
+void FairShareSolver::solve_component() {
+  // Same round-synchronous progressive filling as max_min_fair_rates, but
+  // restricted to the collected component and freezing flows through the
+  // per-link flow sets. Disjoint components are independent subproblems, so
+  // the rates computed here are the ones a full solve would assign: the
+  // per-round shares of a component are computed from per-link state only its
+  // own flows mutate, and every flow frozen in a round subtracts the same
+  // share value, making the arithmetic identical operation-for-operation.
+  // (Sole caveat: a cross-component tie within kShareTolerance can merge two
+  // freeze rounds in the full solve; capacities that close are last-ulp
+  // noise, and the differential tests exercise exactly this equivalence.)
+  updated_.clear();
+  for (const std::uint32_t li : comp_links_) {
+    remaining_[li] = caps_[li];
+    active_[li] = 0;
+    bottleneck_[li] = 0;
+  }
+  for (const std::uint64_t fid : comp_flows_) {
+    FlowRec& f = flows_.find(fid)->second;
+    f.frozen = false;
+    for (const LinkId l : f.links) ++active_[static_cast<std::size_t>(l.get())];
+  }
+
+  std::size_t unfrozen = comp_flows_.size();
+  while (unfrozen > 0) {
+    double share = std::numeric_limits<double>::infinity();
+    for (const std::uint32_t li : comp_links_) {
+      if (active_[li] > 0) share = std::min(share, remaining_[li] / active_[li]);
+    }
+    if (!std::isfinite(share)) break;  // defensive: no constrained link left
+    share = std::max(share, 0.0);
+
+    for (const std::uint32_t li : comp_links_) {
+      bottleneck_[li] =
+          active_[li] > 0 && remaining_[li] / active_[li] <= share * (1.0 + kShareTolerance);
+    }
+
+    bool froze_any = false;
+    for (const std::uint32_t li : comp_links_) {
+      if (!bottleneck_[li]) continue;
+      for (const LinkSlot& s : link_flows_[li]) {
+        FlowRec& f = flows_.find(s.flow)->second;
+        if (f.frozen) continue;
+        f.frozen = true;
+        f.rate = share;
+        froze_any = true;
+        --unfrozen;
+        for (const LinkId fl : f.links) {
+          const auto i = static_cast<std::size_t>(fl.get());
+          remaining_[i] -= share;
+          if (remaining_[i] < 0.0) remaining_[i] = 0.0;
+          --active_[i];
+        }
+      }
+    }
+    if (!froze_any) break;  // defensive: numerical stalemate
+  }
+
+  for (const std::uint64_t fid : comp_flows_) {
+    FlowRec& f = flows_.find(fid)->second;
+    if (!f.frozen) f.rate = 0.0;  // stalemate fallback, mirrors the reference
+    updated_.emplace_back(fid, f.rate);
+  }
+}
+
+std::vector<std::pair<std::uint64_t, double>> FairShareSolver::full_solve() const {
+  std::vector<std::uint64_t> ids;
+  std::vector<FlowPath> paths;
+  ids.reserve(flows_.size());
+  paths.reserve(flows_.size());
+  for (const auto& [id, rec] : flows_) {
+    ids.push_back(id);
+    paths.push_back(FlowPath{rec.links});
+  }
+  const auto rates = max_min_fair_rates(paths, caps_);
+  std::vector<std::pair<std::uint64_t, double>> out;
+  out.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) out.emplace_back(ids[i], rates[i]);
+  return out;
 }
 
 }  // namespace dpjit::net

@@ -4,8 +4,30 @@
 // the full bottleneck bandwidth of its path; the flow-sharing model is our
 // ablation showing how the scheduling comparison behaves when transfers
 // crossing the same link share it fairly.
+//
+// Two entry points:
+//  - max_min_fair_rates(): the stateless reference solve over one flow set.
+//  - FairShareSolver: the incremental engine the TransferManager drives. It
+//    maintains per-link flow sets, so adding or removing a flow only
+//    re-solves the *bottleneck component* that flow belongs to (the flows and
+//    links transitively reachable through shared links); disjoint components
+//    are independent max-min subproblems and keep their rates untouched.
+//    Batch removal (churn teardown) re-solves the union of the affected
+//    components once instead of once per flow.
+//
+// Both solvers use the same round-synchronous freeze: each round first finds
+// the minimum fair share over all links, then marks every bottleneck link
+// *before* any capacity is subtracted, and only then freezes the flows
+// crossing marked links. Because every flow frozen in a round receives the
+// identical share and link capacities are reduced by that same value once per
+// crossing, the computed rates are bit-identical under any permutation of the
+// flow set - a property the golden-digest policy relies on (flow iteration
+// order inside the TransferManager is hash-map order).
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/types.hpp"
@@ -18,10 +40,97 @@ struct FlowPath {
 };
 
 /// Computes the max-min fair rate (Mb/s) of each flow given per-link
-/// capacities. Flows with an empty path (loopback transfers) get +inf.
-/// Progressive filling: repeatedly saturate the most constrained link,
-/// freezing its flows at the fair share. O(iterations * flows * links).
+/// capacities. Flows with an empty path (loopback transfers) get +inf; flows
+/// whose path only crosses zero-capacity links get 0 (callers must not wait
+/// for such flows to complete - see TransferManager's zero-rate guard).
+/// Round-synchronous progressive filling: each round saturates every link at
+/// the current minimum fair share and freezes its flows, with the bottleneck
+/// set determined before any capacity is subtracted, so the result does not
+/// depend on flow order. O(rounds * flows * links).
 [[nodiscard]] std::vector<double> max_min_fair_rates(const std::vector<FlowPath>& flows,
                                                      const std::vector<double>& link_capacity_mbps);
+
+/// Incremental max-min fair solver over a fixed link set. Flows are keyed by
+/// caller-chosen 64-bit ids (the TransferManager uses transfer ids). After
+/// every mutation, `updated()` lists the flows whose rate was re-solved (the
+/// affected bottleneck component, including a newly added flow and excluding
+/// removed ones); all other flows keep their previous rates, which match a
+/// from-scratch solve bit-for-bit (see flow_sharing_test differential tests).
+class FairShareSolver {
+ public:
+  explicit FairShareSolver(std::vector<double> link_capacity_mbps);
+
+  /// Adds a flow crossing `links` and re-solves its component. An empty path
+  /// gets rate +inf and never interacts with other flows. Duplicate links in
+  /// one path are counted per crossing (defensive; real routes are simple).
+  /// Precondition: `id` not present.
+  void add(std::uint64_t id, std::vector<LinkId> links);
+
+  /// Removes one flow and re-solves the component it belonged to.
+  /// Precondition: `id` present.
+  void remove(std::uint64_t id);
+
+  /// Removes every flow in `ids` with a single re-solve of the union of the
+  /// affected components (churn teardown: one solve, not one per flow).
+  /// Precondition: all ids present, no duplicates.
+  void remove_batch(const std::vector<std::uint64_t>& ids);
+
+  /// Current rate of a present flow (Mb/s; +inf for empty paths).
+  [[nodiscard]] double rate(std::uint64_t id) const;
+
+  [[nodiscard]] bool contains(std::uint64_t id) const { return flows_.count(id) > 0; }
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return caps_.size(); }
+
+  /// Flows re-solved by the last add/remove/remove_batch, as (id, rate).
+  /// Invalidated by the next mutation.
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, double>>& updated() const {
+    return updated_;
+  }
+
+  /// From-scratch reference solve of the current flow set (id -> rate), in
+  /// unspecified order. Test hook for incremental-vs-full differential checks.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, double>> full_solve() const;
+
+ private:
+  struct FlowRec {
+    std::vector<LinkId> links;
+    /// slot[k]: this flow's index in link_flows_[links[k]] (swap-erase keeps
+    /// these in sync; duplicate links get one slot per crossing).
+    std::vector<std::uint32_t> slot;
+    double rate = 0.0;
+    std::uint64_t mark = 0;  ///< BFS epoch stamp (component collection)
+    bool frozen = false;     ///< scratch of the current solve round
+  };
+
+  /// One entry of a link's flow set: the flow id plus which of the flow's
+  /// path slots points back here (so swap-erase can fix the moved entry).
+  struct LinkSlot {
+    std::uint64_t flow;
+    std::uint32_t path_index;
+  };
+
+  void unlink(FlowRec& rec);
+  /// Collects the component(s) reachable from `seed_links` into comp_flows_ /
+  /// comp_links_ (excluding flows already marked with the current epoch).
+  void collect_component(const std::vector<LinkId>& seed_links);
+  /// Round-synchronous max-min solve restricted to the collected component;
+  /// fills updated_ with the new rates.
+  void solve_component();
+
+  std::vector<double> caps_;
+  std::unordered_map<std::uint64_t, FlowRec> flows_;
+  std::vector<std::vector<LinkSlot>> link_flows_;
+
+  // --- solve scratch (allocated once; epoch-stamped to avoid O(links) clears)
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> link_mark_;
+  std::vector<double> remaining_;
+  std::vector<int> active_;
+  std::vector<char> bottleneck_;
+  std::vector<std::uint32_t> comp_links_;
+  std::vector<std::uint64_t> comp_flows_;
+  std::vector<std::pair<std::uint64_t, double>> updated_;
+};
 
 }  // namespace dpjit::net

@@ -118,7 +118,13 @@ Topology Topology::from_links(int node_count, std::vector<Link> links) {
         link.b.get() >= node_count) {
       throw std::out_of_range("from_links: link endpoint out of range");
     }
-    if (link.bandwidth_mbps <= 0.0) throw std::invalid_argument("from_links: bandwidth <= 0");
+    // Zero capacity is allowed: a dead/saturated link the fair-sharing model
+    // assigns rate 0 across (the bottleneck model treats such paths as
+    // unreachable). Note that routing is latency-shortest and bandwidth-blind,
+    // so a dead link on the chosen route poisons that pair even when a live
+    // detour exists - deliberate: a saturated link drops what is routed over
+    // it. Generated Waxman topologies always have positive bounds.
+    if (link.bandwidth_mbps < 0.0) throw std::invalid_argument("from_links: bandwidth < 0");
     const LinkId id{static_cast<LinkId::underlying_type>(topo.links_.size())};
     topo.links_.push_back(link);
     topo.incident_[static_cast<std::size_t>(link.a.get())].push_back(id);

@@ -88,6 +88,52 @@ TEST_P(TransferStress, FairNeverBeatsDedicatedBottleneckTime) {
   }
 }
 
+TEST_P(TransferStress, ChurnTeardownResolvesEverythingExactlyOnce) {
+  // Random starts interleaved with node departures (batched fair-mode
+  // teardown): every callback fires exactly once, accounting stays exact,
+  // and the pool is empty at the end.
+  util::Rng rng(GetParam() * 104729);
+  net::TopologyParams params;
+  params.node_count = 14;
+  auto topo_rng = rng.fork("topo");
+  const auto topo = net::Topology::generate_waxman(params, topo_rng);
+  const net::Routing routing(topo);
+  sim::Engine engine;
+  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFairSharing);
+
+  int resolved = 0;
+  int succeeded = 0;
+  double succeeded_mb = 0.0;
+  const int kFlows = 60;
+  for (int i = 0; i < kFlows; ++i) {
+    const double start_at = rng.uniform(0.0, 400.0);
+    const double mb = rng.uniform(0.0, 400.0);
+    engine.schedule_at(start_at, [&, mb] {
+      const auto src = NodeId{static_cast<int>(rng.index(14))};
+      const auto dst = NodeId{static_cast<int>(rng.index(14))};
+      tm.start(src, dst, mb, [&, mb](bool ok) {
+        ++resolved;
+        if (ok) {
+          ++succeeded;
+          succeeded_mb += mb;
+        }
+      });
+    });
+  }
+  // Three departure waves while transfers are in flight.
+  for (int wave = 0; wave < 3; ++wave) {
+    engine.schedule_at(150.0 + 120.0 * wave, [&] {
+      tm.node_left(NodeId{static_cast<int>(rng.index(14))});
+    });
+  }
+  engine.run_all();
+
+  EXPECT_EQ(resolved, kFlows);
+  EXPECT_EQ(tm.active_count(), 0u);
+  EXPECT_EQ(tm.completed_count(), static_cast<std::uint64_t>(succeeded));
+  EXPECT_DOUBLE_EQ(tm.total_delivered_mb(), succeeded_mb);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, TransferStress, ::testing::Range<std::uint64_t>(1, 9));
 
 }  // namespace

@@ -129,6 +129,160 @@ TEST(TransferFair, ShortFlowReleasesBandwidth) {
   EXPECT_NEAR(done[1].second, 14.0, 0.5);
 }
 
+TEST(TransferFair, FirstFlowStartedLateIntegratesNoBogusWindow) {
+  // Regression: fair_clock_ starts at 0; a manager whose first fluid flow
+  // joins at t >> 0 must sync the clock before integrating, otherwise the
+  // first recompute charges a bogus [0, now] window against the flow.
+  Fixture f;
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);
+  double done_at = -1;
+  f.engine.schedule_at(500.0, [&] {
+    tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool ok) {
+      EXPECT_TRUE(ok);
+      done_at = f.engine.now();
+    });
+  });
+  f.engine.run_all();
+  // Same as the cold-start case, shifted: 500 + latency 2 + 100/10 = 512 s.
+  EXPECT_NEAR(done_at, 512.0, 1e-6);
+}
+
+TEST(TransferFair, SecondFluidEpochAfterIdleGapStaysExact) {
+  // Clock-sync regression at the other seam: the pool drains, sim time moves
+  // on with no fluid flows, then a new flow joins. The idle gap must not be
+  // integrated against the newcomer.
+  Fixture f;
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);
+  std::vector<double> done;
+  tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool) { done.push_back(f.engine.now()); });
+  f.engine.schedule_at(300.0, [&] {
+    tm.start(NodeId{0}, NodeId{2}, 50.0, [&](bool) { done.push_back(f.engine.now()); });
+  });
+  f.engine.run_all();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 12.0, 1e-6);
+  EXPECT_NEAR(done[1], 307.0, 1e-6);  // 300 + lat 2 + 50/10
+}
+
+TEST(TransferFair, ZeroCapacityLinkAbortsInsteadOfStalling) {
+  // Regression for the zero-rate stall: a flow routed across a dead link
+  // gets rate 0 and could never complete; it must abort (success=false)
+  // rather than sit in the pool forever with no completion event armed.
+  sim::Engine engine;
+  auto topo = net::Topology::from_links(3, {{NodeId{0}, NodeId{1}, 0.0, 1.0},
+                                            {NodeId{1}, NodeId{2}, 10.0, 1.0}});
+  net::Routing routing(topo);
+  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFairSharing);
+  int resolved = 0;
+  bool dead_ok = true;
+  tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool ok) {
+    dead_ok = ok;
+    ++resolved;
+  });
+  double live_done_at = -1;
+  tm.start(NodeId{1}, NodeId{2}, 100.0, [&](bool ok) {
+    EXPECT_TRUE(ok);
+    live_done_at = engine.now();
+    ++resolved;
+  });
+  engine.run_all();
+  EXPECT_EQ(resolved, 2);
+  EXPECT_FALSE(dead_ok);
+  EXPECT_EQ(tm.active_count(), 0u);  // nothing stuck in the pool
+  // The live flow keeps the healthy link to itself.
+  EXPECT_NEAR(live_done_at, 11.0, 1e-6);
+}
+
+TEST(TransferBottleneck, ZeroCapacityPathAbortsLikeUnreachable) {
+  sim::Engine engine;
+  auto topo = net::Topology::from_links(2, {{NodeId{0}, NodeId{1}, 0.0, 1.0}});
+  net::Routing routing(topo);
+  TransferManager tm(engine, topo, routing);
+  bool ok = true;
+  tm.start(NodeId{0}, NodeId{1}, 100.0, [&](bool success) { ok = success; });
+  engine.run_all();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(tm.active_count(), 0u);
+}
+
+TEST(TransferFair, SubUlpRemainingDeliversInsteadOfLivelocking) {
+  // Regression: after a re-solve, a flow can be left with a remaining volume
+  // whose completion delay is below the ulp of the current (large) sim time.
+  // Re-arming then fires at exactly `now` with dt == 0 forever - the tick
+  // must deliver such flows instead of spinning. Here: two flows share a
+  // 1000 Mb/s link from t = 131072 (ulp ~ 2.9e-11 s); when the 500 Mb flow
+  // finishes, the other is left with 5e-9 Mb at 1000 Mb/s -> 5e-12 s to go,
+  // which cannot advance the clock.
+  sim::Engine engine;
+  auto topo = net::Topology::from_links(2, {{NodeId{0}, NodeId{1}, 1000.0, 1.0}});
+  net::Routing routing(topo);
+  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFairSharing);
+  int done = 0;
+  engine.schedule_at(131072.0, [&] {
+    tm.start(NodeId{0}, NodeId{1}, 500.0 + 5e-9, [&](bool ok) {
+      EXPECT_TRUE(ok);
+      ++done;
+    });
+    tm.start(NodeId{0}, NodeId{1}, 500.0, [&](bool ok) {
+      EXPECT_TRUE(ok);
+      ++done;
+    });
+  });
+  engine.run_all();  // pre-fix this never returned (same-time tick livelock)
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(tm.active_count(), 0u);
+}
+
+TEST(TransferFair, AbortAfterLatencyPhaseUsesNoStaleHandle) {
+  // Regression: the latency-phase event handle must be invalidated when the
+  // flow turns fluid; finish() then has nothing to cancel (a stale cancel
+  // could hit a reused slot). Schedule unrelated events to churn the slab.
+  Fixture f;
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);
+  bool ok = true;
+  const auto id = tm.start(NodeId{0}, NodeId{2}, 1000.0, [&](bool success) { ok = success; });
+  int unrelated_fired = 0;
+  f.engine.schedule_at(3.0, [&] {
+    // Flow is past its 2 s latency phase and fluid now; recycle event slots.
+    for (int i = 0; i < 64; ++i) f.engine.schedule_in(0.5, [&] { ++unrelated_fired; });
+    EXPECT_TRUE(tm.abort(id));
+  });
+  f.engine.run_all();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(unrelated_fired, 64);  // no unrelated event was cancelled
+  EXPECT_EQ(tm.completed_count(), 0u);
+}
+
+TEST(TransferFair, NodeLeftTearsDownAllPhasesInOneBatch) {
+  // node_left must abort fluid, latency-phase and loopback flows touching
+  // the node, in one batched teardown, without disturbing other flows.
+  Fixture f;
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);
+  int failures = 0;
+  double survivor_done_at = -1;
+  // Fluid by t=5 (latency 2 s).
+  tm.start(NodeId{2}, NodeId{0}, 500.0, [&](bool ok) { failures += ok ? 0 : 1; });
+  f.engine.schedule_at(4.5, [&] {
+    // Still in its 1 s latency phase at t=5.
+    tm.start(NodeId{1}, NodeId{2}, 100.0, [&](bool ok) { failures += ok ? 0 : 1; });
+    // Loopback at the doomed node (zero-delay event pending at t=4.5).
+    tm.start(NodeId{2}, NodeId{2}, 10.0, [&](bool ok) { failures += ok ? 0 : 1; });
+    tm.node_left(NodeId{2});
+    EXPECT_EQ(failures, 3);  // all three resolved synchronously
+  });
+  // Unrelated 0->1 flow must finish normally with full bandwidth once the
+  // shared path is clear.
+  tm.start(NodeId{0}, NodeId{1}, 100.0, [&](bool ok) {
+    EXPECT_TRUE(ok);
+    survivor_done_at = f.engine.now();
+  });
+  f.engine.run_all();
+  EXPECT_EQ(failures, 3);
+  EXPECT_EQ(tm.active_count(), 0u);
+  EXPECT_EQ(tm.completed_count(), 1u);
+  EXPECT_GT(survivor_done_at, 0.0);
+}
+
 TEST(TransferFair, AbortRestoresBandwidth) {
   Fixture f;
   TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);

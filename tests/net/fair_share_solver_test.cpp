@@ -1,0 +1,200 @@
+// FairShareSolver: the incremental component-scoped max-min engine must stay
+// bit-identical to a from-scratch solve through arbitrary add/remove/batch
+// histories, and must not touch flows outside the affected component.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <set>
+
+#include "net/flow_sharing.hpp"
+
+namespace dpjit::net {
+namespace {
+
+/// Asserts every flow's incremental rate equals a from-scratch solve of the
+/// current flow set, bit for bit.
+void expect_matches_full_solve(const FairShareSolver& solver) {
+  for (const auto& [id, rate] : solver.full_solve()) {
+    EXPECT_EQ(solver.rate(id), rate) << "flow " << id << ": incremental diverged from full solve";
+  }
+}
+
+TEST(FairShareSolver, SingleFlowThenSharing) {
+  FairShareSolver s({10.0});
+  s.add(1, {LinkId{0}});
+  EXPECT_DOUBLE_EQ(s.rate(1), 10.0);
+  s.add(2, {LinkId{0}});
+  EXPECT_DOUBLE_EQ(s.rate(1), 5.0);
+  EXPECT_DOUBLE_EQ(s.rate(2), 5.0);
+  s.remove(1);
+  EXPECT_DOUBLE_EQ(s.rate(2), 10.0);
+  EXPECT_EQ(s.flow_count(), 1u);
+}
+
+TEST(FairShareSolver, ClassicThreeFlowExample) {
+  FairShareSolver s({10.0, 4.0});
+  s.add(7, {LinkId{0}});
+  s.add(8, {LinkId{0}, LinkId{1}});
+  s.add(9, {LinkId{1}});
+  EXPECT_DOUBLE_EQ(s.rate(8), 2.0);
+  EXPECT_DOUBLE_EQ(s.rate(9), 2.0);
+  EXPECT_DOUBLE_EQ(s.rate(7), 8.0);
+  expect_matches_full_solve(s);
+}
+
+TEST(FairShareSolver, LoopbackFlowIsUnlimitedAndInert) {
+  FairShareSolver s({6.0});
+  s.add(1, {LinkId{0}});
+  s.add(2, {});
+  EXPECT_TRUE(std::isinf(s.rate(2)));
+  EXPECT_DOUBLE_EQ(s.rate(1), 6.0);  // untouched by the loopback flow
+  ASSERT_EQ(s.updated().size(), 1u);
+  EXPECT_EQ(s.updated()[0].first, 2u);
+  s.remove(2);
+  EXPECT_DOUBLE_EQ(s.rate(1), 6.0);
+}
+
+TEST(FairShareSolver, DisjointComponentsAreNotResolved) {
+  FairShareSolver s({4.0, 8.0});
+  s.add(1, {LinkId{0}});
+  s.add(2, {LinkId{0}});
+  // Adding a flow on the other link must only re-solve its own component.
+  s.add(3, {LinkId{1}});
+  ASSERT_EQ(s.updated().size(), 1u);
+  EXPECT_EQ(s.updated()[0].first, 3u);
+  EXPECT_DOUBLE_EQ(s.updated()[0].second, 8.0);
+  EXPECT_DOUBLE_EQ(s.rate(1), 2.0);
+  EXPECT_DOUBLE_EQ(s.rate(2), 2.0);
+  // Removing it likewise leaves the link-0 component alone.
+  s.remove(3);
+  EXPECT_TRUE(s.updated().empty());
+  expect_matches_full_solve(s);
+}
+
+TEST(FairShareSolver, BridgingFlowMergesComponents) {
+  FairShareSolver s({4.0, 8.0});
+  s.add(1, {LinkId{0}});
+  s.add(2, {LinkId{1}});
+  s.add(3, {LinkId{0}, LinkId{1}});
+  // All three flows now share one component and were all re-solved.
+  std::set<std::uint64_t> touched;
+  for (const auto& [id, rate] : s.updated()) touched.insert(id);
+  EXPECT_EQ(touched, (std::set<std::uint64_t>{1, 2, 3}));
+  expect_matches_full_solve(s);
+}
+
+TEST(FairShareSolver, ZeroCapacityLinkYieldsZeroRate) {
+  FairShareSolver s({0.0, 5.0});
+  s.add(1, {LinkId{0}, LinkId{1}});
+  s.add(2, {LinkId{1}});
+  EXPECT_DOUBLE_EQ(s.rate(1), 0.0);
+  EXPECT_DOUBLE_EQ(s.rate(2), 5.0);
+  expect_matches_full_solve(s);
+  s.remove(1);
+  EXPECT_DOUBLE_EQ(s.rate(2), 5.0);
+}
+
+TEST(FairShareSolver, DuplicateLinkCrossingsSurviveChurn) {
+  FairShareSolver s({9.0});
+  s.add(1, {LinkId{0}, LinkId{0}});
+  s.add(2, {LinkId{0}});
+  EXPECT_DOUBLE_EQ(s.rate(1), 3.0);
+  EXPECT_DOUBLE_EQ(s.rate(2), 3.0);
+  // Swap-erase unlinking must survive a flow occupying two slots of one link.
+  s.remove(1);
+  EXPECT_DOUBLE_EQ(s.rate(2), 9.0);
+  expect_matches_full_solve(s);
+}
+
+TEST(FairShareSolver, BatchRemovalMatchesSequentialRemoval) {
+  const std::vector<double> caps{3.0, 7.0, 2.0, 11.0};
+  FairShareSolver batch(caps);
+  FairShareSolver seq(caps);
+  for (std::uint64_t id = 1; id <= 8; ++id) {
+    std::vector<LinkId> links{LinkId{static_cast<LinkId::underlying_type>(id % 4)}};
+    if (id % 3 == 0) links.push_back(LinkId{static_cast<LinkId::underlying_type>((id + 1) % 4)});
+    batch.add(id, links);
+    seq.add(id, links);
+  }
+  const std::vector<std::uint64_t> doomed{2, 3, 5, 8};
+  batch.remove_batch(doomed);
+  for (std::uint64_t id : doomed) seq.remove(id);
+  for (std::uint64_t id : {1, 4, 6, 7}) {
+    EXPECT_EQ(batch.rate(id), seq.rate(id));
+  }
+  expect_matches_full_solve(batch);
+}
+
+TEST(FairShareSolver, RandomizedDifferentialAgainstFullSolve) {
+  // Drive the solver through random add/remove/remove_batch histories over a
+  // shared link pool and check bit-identity with a from-scratch solve after
+  // every mutation - the property the golden digests of the contention
+  // scenarios rely on.
+  std::mt19937_64 gen(0xfa1f);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n_links = 2 + round % 5;
+    std::vector<double> caps;
+    std::uniform_real_distribution<double> cap(0.5, 16.0);
+    for (std::size_t l = 0; l < n_links; ++l) caps.push_back(cap(gen));
+    FairShareSolver solver(caps);
+    std::vector<std::uint64_t> live;
+    std::uint64_t next_id = 1;
+    std::uniform_int_distribution<int> op_pick(0, 9);
+    for (int op = 0; op < 120; ++op) {
+      const int what = op_pick(gen);
+      if (live.empty() || what < 5) {
+        // add
+        std::vector<LinkId> links;
+        std::uniform_int_distribution<std::size_t> len(0, std::min<std::size_t>(3, n_links));
+        std::uniform_int_distribution<std::size_t> pick(0, n_links - 1);
+        const std::size_t want = len(gen);
+        for (std::size_t k = 0; k < want; ++k) {
+          links.push_back(LinkId{static_cast<LinkId::underlying_type>(pick(gen))});
+        }
+        solver.add(next_id, std::move(links));
+        live.push_back(next_id);
+        ++next_id;
+      } else if (what < 8) {
+        // remove one
+        std::uniform_int_distribution<std::size_t> pick(0, live.size() - 1);
+        const std::size_t at = pick(gen);
+        solver.remove(live[at]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+      } else {
+        // batch-remove a random subset (mass teardown)
+        std::vector<std::uint64_t> doomed;
+        std::vector<std::uint64_t> kept;
+        std::bernoulli_distribution take(0.4);
+        for (std::uint64_t id : live) (take(gen) ? doomed : kept).push_back(id);
+        solver.remove_batch(doomed);
+        live = std::move(kept);
+      }
+      ASSERT_EQ(solver.flow_count(), live.size());
+      expect_matches_full_solve(solver);
+      // updated() must cover every flow whose rate differs from before - spot
+      // check: rates of flows outside updated() equal the full solve too
+      // (covered by expect_matches_full_solve above).
+    }
+  }
+}
+
+TEST(FairShareSolver, ManyDisjointComponentsStayIndependent) {
+  // 64 disjoint single-flow components; each mutation re-solves exactly one.
+  std::vector<double> caps(64, 10.0);
+  FairShareSolver s(caps);
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    s.add(id + 1, {LinkId{static_cast<LinkId::underlying_type>(id)}});
+    EXPECT_EQ(s.updated().size(), 1u);
+  }
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    s.add(100 + id, {LinkId{static_cast<LinkId::underlying_type>(id)}});
+    ASSERT_EQ(s.updated().size(), 2u);
+    EXPECT_DOUBLE_EQ(s.rate(id + 1), 5.0);
+  }
+  expect_matches_full_solve(s);
+}
+
+}  // namespace
+}  // namespace dpjit::net

@@ -2,10 +2,90 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <numeric>
+#include <random>
 
 namespace dpjit::net {
 namespace {
+
+/// Independent reference implementation for differential testing: textbook
+/// progressive filling that re-derives per-link state from scratch every
+/// round instead of maintaining running remainders. Deliberately written in a
+/// different style from the production solver.
+std::vector<double> reference_max_min(const std::vector<FlowPath>& flows,
+                                      const std::vector<double>& caps) {
+  const std::size_t nf = flows.size();
+  std::vector<double> rate(nf, 0.0);
+  std::vector<char> fixed(nf, 0);
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (flows[f].links.empty()) {
+      rate[f] = kInf;
+      fixed[f] = 1;
+    }
+  }
+  for (;;) {
+    std::vector<double> rem = caps;
+    std::vector<int> cnt(caps.size(), 0);
+    for (std::size_t f = 0; f < nf; ++f) {
+      for (LinkId l : flows[f].links) {
+        const auto li = static_cast<std::size_t>(l.get());
+        if (fixed[f]) {
+          rem[li] -= rate[f];
+        } else {
+          ++cnt[li];
+        }
+      }
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < caps.size(); ++l) {
+      if (cnt[l] > 0) best = std::min(best, std::max(rem[l], 0.0) / cnt[l]);
+    }
+    if (!std::isfinite(best)) break;
+    bool any = false;
+    for (std::size_t l = 0; l < caps.size(); ++l) {
+      if (cnt[l] == 0 || std::max(rem[l], 0.0) / cnt[l] > best * (1.0 + 1e-9)) continue;
+      for (std::size_t f = 0; f < nf; ++f) {
+        if (fixed[f]) continue;
+        if (std::find(flows[f].links.begin(), flows[f].links.end(),
+                      LinkId{static_cast<LinkId::underlying_type>(l)}) == flows[f].links.end()) {
+          continue;
+        }
+        rate[f] = best;
+        fixed[f] = 1;
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return rate;
+}
+
+/// Random flow-set generator shared by the property tests.
+struct RandomInstance {
+  std::vector<FlowPath> flows;
+  std::vector<double> caps;
+};
+
+RandomInstance random_instance(std::mt19937_64& gen, std::size_t n_links, std::size_t n_flows) {
+  RandomInstance inst;
+  std::uniform_real_distribution<double> cap(0.5, 20.0);
+  for (std::size_t l = 0; l < n_links; ++l) inst.caps.push_back(cap(gen));
+  std::uniform_int_distribution<std::size_t> path_len(1, std::min<std::size_t>(4, n_links));
+  std::uniform_int_distribution<std::size_t> pick(0, n_links - 1);
+  for (std::size_t f = 0; f < n_flows; ++f) {
+    FlowPath p;
+    const std::size_t len = path_len(gen);
+    for (std::size_t k = 0; k < len; ++k) {
+      const LinkId l{static_cast<LinkId::underlying_type>(pick(gen))};
+      if (std::find(p.links.begin(), p.links.end(), l) == p.links.end()) p.links.push_back(l);
+    }
+    inst.flows.push_back(std::move(p));
+  }
+  return inst;
+}
 
 TEST(MaxMinFair, SingleFlowGetsFullLink) {
   const auto rates = max_min_fair_rates({{{LinkId{0}}}}, {10.0});
@@ -69,6 +149,117 @@ TEST(MaxMinFair, BottleneckedFlowCannotBeRaised) {
   EXPECT_DOUBLE_EQ(rates[0], 1.0);
   EXPECT_DOUBLE_EQ(rates[1], 1.0);
   EXPECT_DOUBLE_EQ(rates[2], 7.0);
+}
+
+TEST(MaxMinFair, ZeroCapacityLinkGivesZeroRate) {
+  // Flows crossing a dead link get 0 (the TransferManager aborts them);
+  // flows avoiding it still share the live links normally.
+  const auto rates = max_min_fair_rates(
+      {{{LinkId{0}}}, {{LinkId{0}, LinkId{1}}}, {{LinkId{1}}}}, {0.0, 6.0});
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+  EXPECT_DOUBLE_EQ(rates[2], 6.0);
+}
+
+TEST(MaxMinFair, AllLinksZeroCapacity) {
+  const auto rates = max_min_fair_rates({{{LinkId{0}}}, {{LinkId{0}}}}, {0.0});
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+}
+
+TEST(MaxMinFair, LoopbackOnlyFlowSet) {
+  const auto rates = max_min_fair_rates({{{}}, {{}}, {{}}}, {5.0});
+  for (double r : rates) EXPECT_TRUE(std::isinf(r));
+}
+
+TEST(MaxMinFair, DuplicateLinkOnOnePathCountsPerCrossing) {
+  // Defensive semantics: a path crossing one link twice consumes two shares
+  // of it, exactly as if the crossings were distinct links of equal capacity.
+  // Link 0 carries flow0 twice plus flow1 once -> 3 crossings, share 9/3 = 3;
+  // both flows bottleneck there and freeze at 3 (flow0 consuming 6 in total).
+  const auto dup = max_min_fair_rates({{{LinkId{0}, LinkId{0}}}, {{LinkId{0}}}}, {9.0});
+  EXPECT_DOUBLE_EQ(dup[0], 3.0);
+  EXPECT_DOUBLE_EQ(dup[1], 3.0);
+}
+
+TEST(MaxMinFair, PermutationInvariance) {
+  // The round-synchronous freeze makes rates bit-identical under any
+  // permutation of the flow vector (the TransferManager iterates its flows
+  // in hash-map order, so this is load-bearing, not cosmetic).
+  std::mt19937_64 gen(0x5eed);
+  for (int round = 0; round < 50; ++round) {
+    const auto inst = random_instance(gen, 6, 12);
+    const auto base = max_min_fair_rates(inst.flows, inst.caps);
+    std::vector<std::size_t> perm(inst.flows.size());
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (int shuffle = 0; shuffle < 4; ++shuffle) {
+      std::shuffle(perm.begin(), perm.end(), gen);
+      std::vector<FlowPath> shuffled;
+      for (std::size_t i : perm) shuffled.push_back(inst.flows[i]);
+      const auto rates = max_min_fair_rates(shuffled, inst.caps);
+      for (std::size_t i = 0; i < perm.size(); ++i) {
+        EXPECT_EQ(rates[i], base[perm[i]]) << "round " << round << " flow " << perm[i]
+                                           << ": rate depends on flow order";
+      }
+    }
+  }
+}
+
+TEST(MaxMinFair, DifferentialAgainstReferenceSolver) {
+  std::mt19937_64 gen(0xd1ff);
+  for (int round = 0; round < 100; ++round) {
+    const auto inst = random_instance(gen, 5, 10);
+    const auto got = max_min_fair_rates(inst.flows, inst.caps);
+    const auto want = reference_max_min(inst.flows, inst.caps);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t f = 0; f < got.size(); ++f) {
+      if (std::isinf(want[f])) {
+        EXPECT_TRUE(std::isinf(got[f]));
+      } else {
+        EXPECT_NEAR(got[f], want[f], 1e-9 * std::max(1.0, want[f]))
+            << "round " << round << " flow " << f;
+      }
+    }
+  }
+}
+
+TEST(MaxMinFair, MaxMinOptimalityProperty) {
+  // On random instances: capacity conservation plus the max-min certificate -
+  // every flow either is unconstrained (infinite) or crosses a saturated link
+  // where it holds one of the maximal shares.
+  std::mt19937_64 gen(0x0b7a1137);
+  for (int round = 0; round < 40; ++round) {
+    const auto inst = random_instance(gen, 6, 14);
+    const auto rates = max_min_fair_rates(inst.flows, inst.caps);
+    std::vector<double> used(inst.caps.size(), 0.0);
+    for (std::size_t f = 0; f < rates.size(); ++f) {
+      for (LinkId l : inst.flows[f].links) used[static_cast<std::size_t>(l.get())] += rates[f];
+    }
+    for (std::size_t l = 0; l < inst.caps.size(); ++l) {
+      EXPECT_LE(used[l], inst.caps[l] * (1.0 + 1e-9) + 1e-12);
+    }
+    for (std::size_t f = 0; f < rates.size(); ++f) {
+      if (inst.flows[f].links.empty()) continue;
+      bool certificate = false;
+      for (LinkId l : inst.flows[f].links) {
+        const auto li = static_cast<std::size_t>(l.get());
+        if (used[li] < inst.caps[li] * (1.0 - 1e-6)) continue;  // not saturated
+        // f must hold a maximal rate on this saturated link.
+        bool maximal = true;
+        for (std::size_t g = 0; g < rates.size(); ++g) {
+          if (g == f) continue;
+          const auto& gl = inst.flows[g].links;
+          if (std::find(gl.begin(), gl.end(), l) == gl.end()) continue;
+          if (rates[g] > rates[f] * (1.0 + 1e-9)) maximal = false;
+        }
+        if (maximal) {
+          certificate = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(certificate) << "flow " << f << " is not max-min bottlenecked";
+    }
+  }
 }
 
 }  // namespace

@@ -74,8 +74,11 @@ TEST(Topology, FromLinksAndOtherEnd) {
 
 TEST(Topology, FromLinksValidates) {
   EXPECT_THROW(Topology::from_links(2, {{NodeId{0}, NodeId{5}, 1.0, 0.0}}), std::out_of_range);
-  EXPECT_THROW(Topology::from_links(2, {{NodeId{0}, NodeId{1}, 0.0, 0.0}}),
+  EXPECT_THROW(Topology::from_links(2, {{NodeId{0}, NodeId{1}, -1.0, 0.0}}),
                std::invalid_argument);
+  // Zero capacity is a legal dead/saturated link (the fair-sharing model
+  // assigns rate 0 across it; the bottleneck model treats it as unreachable).
+  EXPECT_NO_THROW(Topology::from_links(2, {{NodeId{0}, NodeId{1}, 0.0, 0.0}}));
 }
 
 TEST(Topology, DisconnectedDetected) {

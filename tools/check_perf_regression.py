@@ -52,13 +52,19 @@ def main() -> None:
     base_eq = "event_queue"
     if current.get("quick") and "quick_event_queue" in baseline:
         base_eq = "quick_event_queue"
+    base_tr = "transfer"
+    if current.get("quick") and "quick_transfer" in baseline:
+        base_tr = "quick_transfer"
     watched = [
         ("event_queue", base_eq, "schedule_pop_speedup"),
         ("event_queue", base_eq, "schedule_cancel_pop_speedup"),
+        ("transfer", base_tr, "fair_sharing_speedup"),
     ]
     info = [
         ("event_queue", "current_schedule_pop_mops"),
         ("event_queue", "current_schedule_cancel_pop_mops"),
+        ("transfer", "current_steady_completions_per_s"),
+        ("transfer", "teardown_speedup"),
         ("end_to_end", "events_per_s"),
         ("routing", "build_ms"),
     ]
