@@ -1,6 +1,6 @@
 // Performance-regression harness for the simulation hot path.
 //
-// Times four things and emits one JSON document (see BENCH_*.json for the
+// Times five things and emits one JSON document (see BENCH_*.json for the
 // recorded baseline-vs-current numbers):
 //   1. EventQueue micro-ops (schedule/pop and schedule/cancel throughput),
 //      both for the current sim::EventQueue and for a frozen copy of the
@@ -13,12 +13,16 @@
 //      incremental grid::TransferManager and for a frozen copy of the pre-
 //      overhaul full-recompute fair path (one O(flows x links) max-min solve
 //      per flow event, one solve per doomed flow on teardown);
-//   4. an end-to-end fig11-style run (one DSMF experiment at --nodes, full
+//   4. next-completion arming: steady fluid churn over 512 disjoint pair
+//      components (solver work O(1) per event), timed for the current
+//      CompletionIndex-armed TransferManager and for a frozen copy of the
+//      PR-4 path whose arming was an O(active) minimum-scan per mutation;
+//   5. an end-to-end fig11-style run (one DSMF experiment at --nodes, full
 //      36 h horizon) with a bitwise digest of the result metrics so perf
 //      changes that perturb simulation output are caught immediately.
 //
 // Usage: perf_harness [--quick] [--nodes=500] [--ops=6000000] [--seed=1]
-//                     [--tflows=1000] [--tcomps=600]
+//                     [--tflows=1000] [--tcomps=600] [--acomps=10000]
 //                     [--out=PATH]       (default: print JSON to stdout)
 #include <algorithm>
 #include <bit>
@@ -379,6 +383,146 @@ struct CurrentFairManager : dpjit::grid::TransferManager {
       : TransferManager(engine, topo, routing, Mode::kFairSharing) {}
 };
 
+/// Frozen copy of the PR-4 fair path's *arming* strategy: the incremental
+/// per-component FairShareSolver (same as current), but the next-completion
+/// event re-armed by the original O(active) scan over every fluid flow after
+/// every mutation - the pass the PR-5 CompletionIndex replaces. Do not "fix"
+/// or modernize this type: it exists so BENCH_*.json's
+/// next_completion.arming_speedup stays reproducible on any machine.
+class ScanArmFairManager {
+ public:
+  using CompletionFn = dpjit::sim::InlineFunction<void(bool)>;
+
+  ScanArmFairManager(dpjit::sim::Engine& engine, const dpjit::net::Topology& topo,
+                     const dpjit::net::Routing& routing)
+      : engine_(engine), routing_(routing), solver_(link_caps(topo)) {}
+
+  std::uint64_t start(dpjit::NodeId src, dpjit::NodeId dst, double size_mb,
+                      CompletionFn on_done) {
+    const std::uint64_t id = next_id_++;
+    Flow flow;
+    flow.size_mb = size_mb;
+    flow.remaining_mb = size_mb;
+    flow.links = routing_.path_links(src, dst);
+    flow.on_done = std::move(on_done);
+    flows_.emplace(id, std::move(flow));
+    engine_.schedule_in(routing_.latency_s(src, dst), [this, id] { flow_started(id); });
+    return id;
+  }
+
+  [[nodiscard]] std::size_t active_count() const { return flows_.size(); }
+
+ private:
+  struct Flow {
+    double size_mb = 0.0;
+    double remaining_mb = 0.0;
+    double rate_mbps = 0.0;
+    std::vector<dpjit::LinkId> links;
+    CompletionFn on_done;
+    bool fluid = false;
+  };
+
+  static std::vector<double> link_caps(const dpjit::net::Topology& topo) {
+    std::vector<double> caps;
+    caps.reserve(topo.link_count());
+    for (const auto& link : topo.links()) caps.push_back(link.bandwidth_mbps);
+    return caps;
+  }
+
+  void flow_started(std::uint64_t id) {
+    auto it = flows_.find(id);
+    if (it == flows_.end()) return;
+    advance_to_now();
+    it->second.fluid = true;
+    solver_.add(id, it->second.links);
+    apply_updated();
+    schedule_next_scan();
+  }
+
+  void advance_to_now() {
+    const dpjit::SimTime now = engine_.now();
+    const double dt = now - clock_;
+    if (dt > 0.0) {
+      for (auto& [id, flow] : flows_) {
+        if (!flow.fluid) continue;
+        flow.remaining_mb = std::max(0.0, flow.remaining_mb - flow.rate_mbps * dt);
+      }
+    }
+    clock_ = now;
+  }
+
+  void apply_updated() {
+    for (const auto& [fid, rate] : solver_.updated()) {
+      flows_.find(fid)->second.rate_mbps = rate;
+    }
+  }
+
+  void resolve_batch(const std::vector<std::uint64_t>& ids) {
+    if (ids.empty()) return;
+    advance_to_now();
+    std::vector<std::uint64_t> fluid_ids;
+    std::vector<CompletionFn> callbacks;
+    for (const std::uint64_t id : ids) {
+      auto it = flows_.find(id);
+      fluid_ids.push_back(id);
+      callbacks.push_back(std::move(it->second.on_done));
+      flows_.erase(it);
+    }
+    solver_.remove_batch(fluid_ids);
+    apply_updated();
+    schedule_next_scan();
+    for (auto& cb : callbacks) {
+      if (cb) cb(true);
+    }
+  }
+
+  /// The frozen arming pass: min remaining/rate over EVERY fluid flow.
+  void schedule_next_scan() {
+    if (armed_) {
+      engine_.cancel(event_);
+      armed_ = false;
+    }
+    double soonest = dpjit::kInf;
+    for (const auto& [id, flow] : flows_) {
+      if (!flow.fluid || flow.rate_mbps <= 0.0) continue;
+      soonest = std::min(soonest, flow.remaining_mb / flow.rate_mbps);
+    }
+    if (!std::isfinite(soonest)) return;
+    event_ = engine_.schedule_in(soonest, [this] {
+      armed_ = false;
+      tick();
+    });
+    armed_ = true;
+  }
+
+  void tick() {
+    advance_to_now();
+    std::vector<std::uint64_t> done;
+    const dpjit::SimTime now = engine_.now();
+    for (const auto& [id, flow] : flows_) {
+      if (!flow.fluid) continue;
+      if (flow.remaining_mb <= 1e-9 || now + flow.remaining_mb / flow.rate_mbps <= now) {
+        done.push_back(id);
+      }
+    }
+    std::sort(done.begin(), done.end());
+    if (done.empty()) {
+      schedule_next_scan();
+      return;
+    }
+    resolve_batch(done);
+  }
+
+  dpjit::sim::Engine& engine_;
+  const dpjit::net::Routing& routing_;
+  std::unordered_map<std::uint64_t, Flow> flows_;
+  dpjit::net::FairShareSolver solver_;
+  std::uint64_t next_id_ = 1;
+  dpjit::sim::EventQueue::Handle event_ = dpjit::sim::EventQueue::kInvalidHandle;
+  bool armed_ = false;
+  dpjit::SimTime clock_ = 0.0;
+};
+
 /// Steady-state fluid churn: `concurrent` flows stay in flight (every
 /// completion immediately starts a replacement) until `target` completions.
 /// Returns completions per wall-clock second, timed after a warm-up that gets
@@ -444,6 +588,53 @@ double bench_fair_teardown(const dpjit::net::Topology& topo, const dpjit::net::R
   return dt * 1e3;
 }
 
+/// Next-completion arming stress: the topology is `pairs` disjoint two-node
+/// islands (one link each), so every component re-solve is O(1) and the
+/// per-event cost is dominated by the fixed per-flow passes - which is
+/// exactly where the frozen scan-arming manager pays an extra O(active)
+/// minimum-scan per mutation and the CompletionIndex pays O(log active).
+/// Steady churn: every completion starts a replacement on a random pair.
+/// Returns completions per wall-clock second.
+template <class Manager>
+double bench_arming(const dpjit::net::Topology& topo, const dpjit::net::Routing& routing,
+                    std::size_t concurrent, std::uint64_t target, std::uint64_t& sink) {
+  using dpjit::NodeId;
+  dpjit::sim::Engine engine;
+  Manager tm(engine, topo, routing);
+  dpjit::util::Rng rng(44);
+  const int pairs = topo.node_count() / 2;
+  std::uint64_t completed = 0;
+  std::function<void()> spawn = [&] {
+    const int p = static_cast<int>(rng.index(static_cast<std::size_t>(pairs)));
+    tm.start(NodeId{2 * p}, NodeId{2 * p + 1}, rng.uniform(5.0, 50.0), [&](bool) {
+      ++completed;
+      if (completed < target + concurrent) spawn();
+    });
+  };
+  for (std::size_t i = 0; i < concurrent; ++i) spawn();
+  engine.run_until(1.0);  // past every latency phase
+  const double t0 = now_s();
+  while (completed < target) {
+    if (!engine.step()) break;
+  }
+  const double dt = now_s() - t0;
+  sink += completed;
+  return static_cast<double>(target) / dt;
+}
+
+/// The disjoint-pair WAN for bench_arming: nodes 2p and 2p+1 joined by one
+/// 5-10 Mb/s link, no inter-pair connectivity.
+dpjit::net::Topology disjoint_pairs_topology(int pairs) {
+  std::vector<dpjit::net::Link> links;
+  links.reserve(static_cast<std::size_t>(pairs));
+  dpjit::util::Rng rng(45);
+  for (int p = 0; p < pairs; ++p) {
+    links.push_back(dpjit::net::Link{dpjit::NodeId{2 * p}, dpjit::NodeId{2 * p + 1},
+                                     rng.uniform(5.0, 10.0), 0.05});
+  }
+  return dpjit::net::Topology::from_links(2 * pairs, std::move(links));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -455,6 +646,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const auto tflows = static_cast<std::size_t>(cli.get_int("tflows", 1000));
   const auto tcomps = static_cast<std::uint64_t>(cli.get_int("tcomps", quick ? 150 : 600));
+  const auto acomps = static_cast<std::uint64_t>(cli.get_int("acomps", quick ? 2000 : 10000));
   const std::string out_path = cli.get_string("out", "-");
 
   std::uint64_t sink = 0;
@@ -463,7 +655,7 @@ int main(int argc, char** argv) {
   auto median3 = [](double a, double b, double c) {
     return std::max(std::min(a, b), std::min(std::max(a, b), c));
   };
-  std::fprintf(stderr, "[1/4] event-queue micro-ops (%zu ops/run)...\n", ops);
+  std::fprintf(stderr, "[1/5] event-queue micro-ops (%zu ops/run)...\n", ops);
   double base_sp[3], cur_sp[3], base_sc[3], cur_sc[3];
   for (int r = 0; r < 3; ++r) {
     base_sp[r] = bench_schedule_pop<BaselineEventQueue>(ops, sink);
@@ -477,7 +669,7 @@ int main(int argc, char** argv) {
   const double current_cancel = median3(cur_sc[0], cur_sc[1], cur_sc[2]);
 
   // --- 2. Routing construction ---------------------------------------------
-  std::fprintf(stderr, "[2/4] routing build (n=%d)...\n", nodes);
+  std::fprintf(stderr, "[2/5] routing build (n=%d)...\n", nodes);
   util::Rng topo_rng(seed);
   net::TopologyParams tp;
   tp.node_count = nodes;
@@ -500,7 +692,7 @@ int main(int argc, char** argv) {
   // --- 3. Transfer-heavy fair-sharing benchmarks ----------------------------
   // Fixed 128-node topology regardless of --nodes: the metric is flow-event
   // throughput at --tflows concurrent fluid flows, not topology scale.
-  std::fprintf(stderr, "[3/4] fair-sharing transfers (%zu concurrent, %llu completions)...\n",
+  std::fprintf(stderr, "[3/5] fair-sharing transfers (%zu concurrent, %llu completions)...\n",
                tflows, static_cast<unsigned long long>(tcomps));
   double base_steady = 0.0, cur_steady = 0.0, base_teardown = 0.0, cur_teardown = 0.0;
   {
@@ -529,8 +721,26 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- 4. End-to-end fig11-style run ---------------------------------------
-  std::fprintf(stderr, "[4/4] end-to-end dsmf run (n=%d, 36 h horizon)...\n", nodes);
+  // --- 4. Next-completion arming (scan vs CompletionIndex) ------------------
+  // 512 disjoint pairs so the solver work per event is O(1): what remains is
+  // the per-flow passes, isolating the arming strategy the index replaced.
+  std::fprintf(stderr, "[4/5] next-completion arming (%zu flows, %llu completions)...\n",
+               tflows, static_cast<unsigned long long>(acomps));
+  double scan_arming = 0.0, index_arming = 0.0;
+  {
+    const auto atopo = disjoint_pairs_topology(512);
+    const net::Routing arouting(atopo, 1);
+    double ss[2], is[2];
+    for (int r = 0; r < 2; ++r) {
+      ss[r] = bench_arming<ScanArmFairManager>(atopo, arouting, tflows, acomps, sink);
+      is[r] = bench_arming<CurrentFairManager>(atopo, arouting, tflows, acomps, sink);
+    }
+    scan_arming = std::max(ss[0], ss[1]);
+    index_arming = std::max(is[0], is[1]);
+  }
+
+  // --- 5. End-to-end fig11-style run ---------------------------------------
+  std::fprintf(stderr, "[5/5] end-to-end dsmf run (n=%d, 36 h horizon)...\n", nodes);
   exp::ExperimentConfig cfg;
   cfg.algorithm = "dsmf";
   cfg.nodes = nodes;
@@ -571,6 +781,14 @@ int main(int argc, char** argv) {
     w.kv("current_teardown_ms", cur_teardown);
     w.kv("teardown_speedup", base_teardown / std::max(cur_teardown, 1e-9));
     w.end_object();
+    w.key("next_completion").begin_object();
+    w.kv("pairs", static_cast<std::int64_t>(512));
+    w.kv("concurrent_flows", static_cast<std::uint64_t>(tflows));
+    w.kv("completions", acomps);
+    w.kv("scan_completions_per_s", scan_arming);
+    w.kv("index_completions_per_s", index_arming);
+    w.kv("arming_speedup", index_arming / scan_arming);
+    w.end_object();
     w.key("end_to_end").begin_object();
     w.kv("nodes", static_cast<std::int64_t>(nodes));
     w.kv("algorithm", "dsmf");
@@ -605,11 +823,13 @@ int main(int argc, char** argv) {
                "routing build n=%d: %.1f ms\n"
                "fair steady-state %.0f -> %.0f completions/s (%.2fx)\n"
                "fair teardown %.2f -> %.2f ms (%.1fx)\n"
+               "next-completion arming %.0f -> %.0f completions/s (%.2fx)\n"
                "end-to-end n=%d: %.2f s wall, %llu events (%.0f events/s)\n",
                baseline_pop, current_pop, current_pop / baseline_pop, baseline_cancel,
                current_cancel, current_cancel / baseline_cancel, nodes, routing_ms, base_steady,
                cur_steady, cur_steady / base_steady, base_teardown, cur_teardown,
-               base_teardown / std::max(cur_teardown, 1e-9), nodes, e2e_wall,
+               base_teardown / std::max(cur_teardown, 1e-9), scan_arming, index_arming,
+               index_arming / scan_arming, nodes, e2e_wall,
                static_cast<unsigned long long>(result.events_processed),
                static_cast<double>(result.events_processed) / e2e_wall);
   return sink == 0xdeadbeef ? 2 : 0;

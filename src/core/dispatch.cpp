@@ -16,4 +16,18 @@ int select_min_ft(DispatchContext& ctx, const CandidateTask& task) {
   return best;
 }
 
+int select_min_ft_contended(DispatchContext& ctx, const CandidateTask& task) {
+  const auto& resources = ctx.resources();
+  int best = -1;
+  double best_ft = kInf;
+  for (std::size_t i = 0; i < resources.size(); ++i) {
+    const double ft = ctx.finish_time_contended(task, resources[i]);
+    if (ft < best_ft) {
+      best_ft = ft;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
 }  // namespace dpjit::core

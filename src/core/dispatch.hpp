@@ -59,6 +59,17 @@ class DispatchContext {
   [[nodiscard]] virtual double finish_time(const CandidateTask& task,
                                            const gossip::ResourceEntry& resource) const = 0;
 
+  /// FT(tau, r) with the transmission-delay term (Eq. 4) answered by the live
+  /// network oracle - what the input transfers would actually cost *right
+  /// now*, contention included - instead of static bandwidth estimates.
+  /// Contexts without a live network (tests, planners) inherit this default,
+  /// which falls back to the static estimate, so contention-aware policies
+  /// degrade gracefully to their baseline behaviour.
+  [[nodiscard]] virtual double finish_time_contended(const CandidateTask& task,
+                                                     const gossip::ResourceEntry& resource) const {
+    return finish_time(task, resource);
+  }
+
   /// et(tau, r): execution-time estimate on the resource.
   [[nodiscard]] virtual double exec_time(const CandidateTask& task,
                                          const gossip::ResourceEntry& resource) const = 0;
@@ -74,6 +85,10 @@ class DispatchContext {
 /// Formula (9): index into ctx.resources() minimizing FT(tau, r), or -1 when
 /// the resource set is empty. Ties break toward the earlier entry.
 [[nodiscard]] int select_min_ft(DispatchContext& ctx, const CandidateTask& task);
+
+/// Formula (9) evaluated through finish_time_contended(): the index into
+/// ctx.resources() minimizing the oracle-predicted completion time.
+[[nodiscard]] int select_min_ft_contended(DispatchContext& ctx, const CandidateTask& task);
 
 /// Base class for the first scheduling phase.
 class FirstPhasePolicy {

@@ -39,6 +39,12 @@ struct TaskEstimateInputs {
 /// landmark-based estimator fed by gossip, in tests any stub.
 using BandwidthEstimateFn = std::function<double(NodeId from, NodeId to)>;
 
+/// Full transfer-time estimate (seconds, including path latency) for moving
+/// `size_mb` megabits. Contention-aware policies plug a live
+/// net::RateOracle::expected_transfer_time_s in here; the static variant
+/// above only divides size by an average bandwidth.
+using TransferTimeFn = std::function<double(NodeId from, NodeId to, double size_mb)>;
+
 /// R(tau, p_h): queuing delay = gossiped total load / capacity, seconds.
 [[nodiscard]] double queuing_delay_s(const gossip::ResourceEntry& resource);
 
@@ -50,6 +56,11 @@ using BandwidthEstimateFn = std::function<double(NodeId from, NodeId to)>;
 [[nodiscard]] double longest_transmission_delay_s(const TaskEstimateInputs& task, NodeId target,
                                                   const BandwidthEstimateFn& bandwidth);
 
+/// LTD(tau) with each input charged a full transfer-time estimate (latency
+/// included) instead of size / average-bandwidth.
+[[nodiscard]] double longest_transmission_delay_s(const TaskEstimateInputs& task, NodeId target,
+                                                  const TransferTimeFn& transfer_time);
+
 /// ST and FT (Eqs. 5-6) as offsets from now.
 struct FinishTimeEstimate {
   double start_s = 0.0;
@@ -59,5 +70,11 @@ struct FinishTimeEstimate {
 [[nodiscard]] FinishTimeEstimate estimate_finish_time(const TaskEstimateInputs& task,
                                                       const gossip::ResourceEntry& resource,
                                                       const BandwidthEstimateFn& bandwidth);
+
+/// Eqs. (5)-(6) with the LTD term computed from a full transfer-time
+/// estimator (e.g. the live network oracle) instead of a static bandwidth.
+[[nodiscard]] FinishTimeEstimate estimate_finish_time(const TaskEstimateInputs& task,
+                                                      const gossip::ResourceEntry& resource,
+                                                      const TransferTimeFn& transfer_time);
 
 }  // namespace dpjit::core

@@ -68,6 +68,17 @@ class SystemDispatchContext final : public DispatchContext {
     return execution_time_s(task.load_mi, resource);
   }
 
+  [[nodiscard]] double finish_time_contended(const CandidateTask& task,
+                                             const gossip::ResourceEntry& resource) const override {
+    // Live-oracle LTD: the TransferManager answers what each input transfer
+    // would cost if it started now (in fair-sharing mode a what-if probe of
+    // the max-min solver; in bottleneck mode the true routed path rate).
+    TransferTimeFn oracle_fn = [this](NodeId from, NodeId to, double mb) {
+      return oracle_transfer_time(from, to, mb);
+    };
+    return estimate_finish_time(task.inputs, resource, oracle_fn).finish_s;
+  }
+
   void dispatch(const CandidateTask& task, NodeId target) override {
     auto& wf = sys_.workflows_[static_cast<std::size_t>(task.ref.workflow.get())];
     auto& rt = wf.tasks[static_cast<std::size_t>(task.ref.task.get())];
@@ -86,6 +97,27 @@ class SystemDispatchContext final : public DispatchContext {
   }
 
  private:
+  /// Oracle-backed transfer time with a per-cycle (src, dst) cache. The
+  /// context lives for exactly one scheduling cycle and the engine processes
+  /// no events while it runs, so the in-flight flow set - and therefore every
+  /// oracle answer - is frozen: caching the (latency, rate) pair and redoing
+  /// the `latency + mb / rate` arithmetic is bit-identical to re-probing,
+  /// while collapsing the probe count from tasks x resources x inputs to the
+  /// number of distinct node pairs.
+  [[nodiscard]] double oracle_transfer_time(NodeId from, NodeId to, double mb) const {
+    if (from == to) return 0.0;
+    const auto src_bits = static_cast<std::uint64_t>(static_cast<std::uint32_t>(from.get()));
+    const std::uint64_t key = (src_bits << 32) | static_cast<std::uint32_t>(to.get());
+    auto it = oracle_cache_.find(key);
+    if (it == oracle_cache_.end()) {
+      const double latency = sys_.routing_.latency_s(from, to);
+      const double rate = sys_.transfers_->predicted_rate_mbps(from, to);
+      it = oracle_cache_.emplace(key, std::pair<double, double>{latency, rate}).first;
+    }
+    const auto [latency, rate] = it->second;
+    return net::transfer_time_from_rate(latency, rate, mb);
+  }
+
   [[nodiscard]] BandwidthEstimateFn bandwidth_fn() const {
     const double fallback = averages_.bandwidth_mbps;
     const auto* landmarks = &sys_.landmarks_;
@@ -99,6 +131,8 @@ class SystemDispatchContext final : public DispatchContext {
   dag::AverageEstimates averages_;
   std::vector<gossip::ResourceEntry> resources_;
   std::vector<PendingWorkflow> pending_;
+  /// (src << 32 | dst) -> (latency_s, predicted rate) for this cycle.
+  mutable std::unordered_map<std::uint64_t, std::pair<double, double>> oracle_cache_;
 };
 
 // ---------------------------------------------------------------------------

@@ -25,8 +25,8 @@ void DsmfPolicy::run(DispatchContext& ctx) {
                        return a->rpm > b->rpm;
                      });
     for (const CandidateTask* t : tasks) {
-      const int r = select_min_ft(ctx, *t);  // Line 13, Formula (9)
-      if (r < 0) continue;                   // Line 9: empty RSS - skip
+      const int r = select_node(ctx, *t);  // Line 13, Formula (9)
+      if (r < 0) continue;                 // Line 9: empty RSS - skip
       ctx.dispatch(*t, ctx.resources()[static_cast<std::size_t>(r)].node);  // Lines 14-15
     }
   }

@@ -10,10 +10,18 @@
 
 namespace dpjit::core {
 
-class DsmfPolicy final : public FirstPhasePolicy {
+class DsmfPolicy : public FirstPhasePolicy {
  public:
   [[nodiscard]] std::string_view name() const override { return "dsmf"; }
   void run(DispatchContext& ctx) override;
+
+ protected:
+  /// Formula (9) hook: which resource index gets the task (-1 = skip).
+  /// DsmfCaPolicy overrides this with the oracle-predicted completion time;
+  /// the workflow/task ordering of Algorithm 1 is shared.
+  [[nodiscard]] virtual int select_node(DispatchContext& ctx, const CandidateTask& task) const {
+    return select_min_ft(ctx, task);
+  }
 };
 
 }  // namespace dpjit::core

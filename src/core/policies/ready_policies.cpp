@@ -46,6 +46,21 @@ bool lsf_better(const grid::ReadyTask& a, const grid::ReadyTask& b) {
   return fcfs_better(a, b);
 }
 
+bool tcms_better(const grid::ReadyTask& a, const grid::ReadyTask& b) {
+  // Transfer-time-corrected DSMF order: the makespan stamped at dispatch
+  // priced the input transfers at believed averages; by the time a task is
+  // runnable the *realized* input-staging time (data_ready_at - arrived_at)
+  // is known, so that much of the stamped remaining makespan has already
+  // been paid down. Ranking by the corrected value favors the workflow that
+  // is genuinely closest to done - a workflow whose inputs crawled through a
+  // contended path no longer shadows one that staged instantly.
+  const double ca = a.wf_makespan - (a.data_ready_at - a.arrived_at);
+  const double cb = b.wf_makespan - (b.data_ready_at - b.arrived_at);
+  if (ca != cb) return ca < cb;
+  if (a.rpm != b.rpm) return a.rpm > b.rpm;
+  return fcfs_better(a, b);
+}
+
 class ComparatorPolicy final : public ReadyQueuePolicy {
  public:
   ComparatorPolicy(std::string_view name, Better better) : name_(name), better_(better) {}
@@ -75,7 +90,7 @@ struct Entry {
 constexpr Entry kPolicies[] = {
     {"dsmf", dsmf_better}, {"lrpm", lrpm_better}, {"slack", slack_better},
     {"stf", stf_better},   {"ltf", ltf_better},   {"lsf", lsf_better},
-    {"fcfs", fcfs_better},
+    {"fcfs", fcfs_better}, {"tcms", tcms_better},
 };
 
 }  // namespace

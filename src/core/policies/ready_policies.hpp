@@ -34,7 +34,14 @@ class ReadyQueuePolicy {
 ///  - "ltf"   : longest task first (paired with max-min);
 ///  - "lsf"   : largest sufferage first (paired with sufferage);
 ///  - "fcfs"  : arrival order (full-ahead HEFT/SMF; also the paper's
-///              second-phase-less baselines).
+///              second-phase-less baselines);
+///  - "tcms"  : transfer-time-corrected DSMF order (extension): smallest
+///              (wf_makespan - realized input-staging time) first, i.e. the
+///              stamped makespan minus the data_ready_at - arrived_at window
+///              each candidate actually spent waiting for inputs; tie ->
+///              longest RPM. Credits workflows for transfer time already
+///              paid, which matters when contention makes staging times
+///              diverge wildly from the averages the stamp assumed.
 /// Throws std::invalid_argument for unknown names.
 [[nodiscard]] std::unique_ptr<ReadyQueuePolicy> make_ready_policy(std::string_view name);
 

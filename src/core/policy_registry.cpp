@@ -6,6 +6,7 @@
 #include "core/policies/dheft.hpp"
 #include "core/policies/dsdf.hpp"
 #include "core/policies/dsmf.hpp"
+#include "core/policies/dsmf_ca.hpp"
 
 namespace dpjit::core {
 namespace {
@@ -51,6 +52,12 @@ Algorithm make_algorithm(std::string_view name) {
   } else if (name == "heft-la") {
     a.make_planner = [] { return std::make_unique<LookaheadHeftPlanner>(); };
     a.make_second = second("fcfs");
+  } else if (name == "dsmf-ca") {
+    a.make_first = first<DsmfCaPolicy>();
+    a.make_second = second("dsmf");
+  } else if (name == "dsmf-tc") {
+    a.make_first = first<DsmfPolicy>();
+    a.make_second = second("tcms");
   } else if (name == "dsmf-fcfs") {
     a.make_first = first<DsmfPolicy>();
     a.make_second = second("fcfs");
@@ -79,7 +86,7 @@ std::vector<std::string> paper_algorithms() {
 std::vector<std::string> all_algorithms() {
   auto names = paper_algorithms();
   for (const char* v : {"dsmf-fcfs", "dheft-fcfs", "minmin-fcfs", "maxmin-fcfs",
-                        "sufferage-fcfs", "heft-la"}) {
+                        "sufferage-fcfs", "heft-la", "dsmf-ca", "dsmf-tc"}) {
     names.emplace_back(v);
   }
   return names;

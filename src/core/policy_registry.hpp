@@ -35,6 +35,12 @@ struct Algorithm {
 /// Second-phase ablation variants (original HCW'99-style, FCFS ready set):
 ///   "minmin-fcfs", "maxmin-fcfs", "sufferage-fcfs", "dheft-fcfs", "dsmf-fcfs".
 /// Extension (paper related-work [24]): "heft-la" - lookahead HEFT.
+/// Contention-aware extensions (consume the live net::RateOracle):
+///   "dsmf-ca" - DSMF with Formula (9) ranked by oracle-predicted completion
+///               time (live what-if probes of the fair-sharing solver);
+///   "dsmf-tc" - DSMF with the transfer-time-corrected "tcms" second phase
+///               (realized input-staging time credited against the stamped
+///               remaining makespan).
 /// Throws std::invalid_argument on unknown names.
 [[nodiscard]] Algorithm make_algorithm(std::string_view name);
 

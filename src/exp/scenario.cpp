@@ -95,6 +95,46 @@ ScenarioRegistry build_registry() {
              c.set_data_range(100, 10000);
            })});
 
+  // --- contention-aware scheduling on the fluid model ----------------------
+  // The policies that *consume* the fair-sharing model's live rates (via the
+  // net::RateOracle what-if probes), pinned end-to-end at the same
+  // transfer-bound CCR as the fair-* scenarios so the placement signal the
+  // oracle adds is actually load-bearing. Makespan comparisons against
+  // static-bandwidth DSMF are recorded in docs/EXPERIMENTS.md.
+  reg.add({"contention/aware-static",
+           "contention-aware DSMF (dsmf-ca) under max-min fair sharing: placement ranked by "
+           "live what-if rate probes of the fluid solver, data-heavy CCR ~ 16",
+           "", RuntimeTier::kSlow, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.algorithm = "dsmf-ca";
+             c.fair_sharing = true;
+             c.set_load_range(10, 1000);
+             c.set_data_range(100, 10000);
+           })});
+  reg.add({"contention/aware-churn",
+           "contention-aware DSMF (dsmf-ca) under fair sharing plus churn (dynamic factor "
+           "0.2): oracle probes run against a flow set that mass-teardown keeps shifting",
+           "", RuntimeTier::kSlow, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.algorithm = "dsmf-ca";
+             c.fair_sharing = true;
+             c.dynamic_factor = 0.2;
+             c.set_load_range(10, 1000);
+             c.set_data_range(100, 10000);
+           })});
+  reg.add({"contention/aware-corrected",
+           "transfer-time-corrected second phase (dsmf-tc) under fair sharing at load factor "
+           "8: ready sets deep enough that re-ranking by realized input-staging time bites, "
+           "data-heavy CCR ~ 16",
+           "", RuntimeTier::kSlow, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.workflows_per_node = 8;
+             c.algorithm = "dsmf-tc";
+             c.fair_sharing = true;
+             c.set_load_range(10, 1000);
+             c.set_data_range(100, 10000);
+           })});
+
   // --- extension workloads beyond the paper --------------------------------
   reg.add({"open/poisson-arrivals",
            "open model: each home submits 4 workflows with exponential inter-arrivals "

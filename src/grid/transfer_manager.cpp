@@ -117,6 +117,27 @@ bool TransferManager::abort(std::uint64_t id) {
   return true;
 }
 
+// --- net::RateOracle --------------------------------------------------------
+
+double TransferManager::predicted_rate_mbps(NodeId src, NodeId dst) const {
+  if (src == dst) return kInf;  // loopback transfers are free
+  if (mode_ == Mode::kBottleneck) {
+    // No contention in this model: the live rate IS the static path rate.
+    return routing_.bandwidth_mbps(src, dst);
+  }
+  const std::vector<LinkId> links = routing_.path_links(src, dst);
+  if (links.empty()) return 0.0;  // unreachable pair (no route)
+  return solver_.probe_rate(links);
+}
+
+double TransferManager::expected_transfer_time_s(NodeId src, NodeId dst, double size_mb) const {
+  if (src == dst) return 0.0;
+  const double latency = routing_.latency_s(src, dst);
+  if (!std::isfinite(latency)) return kInf;  // skip the probe entirely
+  if (size_mb <= 0.0) return latency;
+  return net::transfer_time_from_rate(latency, predicted_rate_mbps(src, dst), size_mb);
+}
+
 // --- fair-sharing machinery -------------------------------------------------
 
 void TransferManager::fair_flow_started(std::uint64_t id) {
@@ -170,10 +191,22 @@ void TransferManager::fair_advance_to_now() {
 }
 
 void TransferManager::fair_apply_updated_rates() {
+  // Callers advance the fluid clock before any re-solve, so `now` is the
+  // instant the new rates take effect and remaining_mb is current: the
+  // projected finish below is exactly the `now + remaining / rate` the old
+  // brute-force arming scan would compute at this moment.
+  assert(fair_clock_ == engine_.now());
+  const SimTime now = engine_.now();
   for (const auto& [fid, rate] : solver_.updated()) {
     auto it = flows_.find(fid);
     assert(it != flows_.end() && it->second.fluid);
     it->second.rate_mbps = rate;
+    if (rate > 0.0) {
+      next_completion_.upsert(fid, now + it->second.remaining_mb / rate);
+    } else {
+      // Saturated path: fair_abort_stalled() resolves it right after this.
+      next_completion_.erase(fid);
+    }
   }
 }
 
@@ -192,6 +225,7 @@ void TransferManager::fair_resolve_batch(const std::vector<std::uint64_t>& ids, 
     if (flow.fluid) {
       assert(flow.event == sim::EventQueue::kInvalidHandle);
       fluid_ids.push_back(id);
+      next_completion_.erase(id);
     } else {
       // Latency-phase or loopback flow (node teardown): kill its timer.
       engine_.cancel(flow.event);
@@ -222,14 +256,35 @@ void TransferManager::fair_schedule_next_completion() {
     engine_.cancel(fair_event_);
     fair_event_armed_ = false;
   }
+  if (next_completion_.empty()) return;
+  // The index orders flows by their projected *absolute* finish; the armed
+  // delay is recomputed from the eagerly advanced remaining volume with the
+  // identical `remaining / rate` expression the old O(active) scan evaluated,
+  // so the event lands on the bit-identical time (golden digests depend on
+  // this; the debug block below cross-checks it on every arming). Two flows
+  // whose delays differ by less than one ulp of the absolute clock collapse
+  // onto the same index key - rounding is monotone, so a true-order
+  // difference can only become a key tie, never an inversion - and the tie
+  // is broken here at full relative precision over the tied subtree.
+  tie_scratch_.clear();
+  next_completion_.collect_min_ties(tie_scratch_);
   double soonest = kInf;
+  for (const std::uint64_t fid : tie_scratch_) {
+    const auto it = flows_.find(fid);
+    assert(it != flows_.end() && it->second.fluid);
+    assert(it->second.rate_mbps > 0.0 && "zero-rate fluid flow survived the stall guard");
+    soonest = std::min(soonest, it->second.remaining_mb / it->second.rate_mbps);
+  }
+#ifndef NDEBUG
+  double scan = kInf;
   for (const auto& [id, flow] : flows_) {
     if (!flow.fluid) continue;
-    assert(flow.rate_mbps > 0.0 && "zero-rate fluid flow survived the stall guard");
-    if (flow.rate_mbps <= 0.0) continue;  // defensive in release builds
-    soonest = std::min(soonest, flow.remaining_mb / flow.rate_mbps);
+    assert(flow.rate_mbps > 0.0);
+    scan = std::min(scan, flow.remaining_mb / flow.rate_mbps);
   }
-  if (!std::isfinite(soonest)) return;
+  assert(scan == soonest && "CompletionIndex diverged from the brute-force scan");
+#endif
+  if (!std::isfinite(soonest)) return;  // defensive: mirrors the old scan guard
   fair_event_ = engine_.schedule_in(soonest, [this] {
     fair_event_armed_ = false;
     fair_tick();

@@ -11,7 +11,14 @@
 //    is recomputed, and churn-driven mass teardown (node_left) removes every
 //    doomed flow with a single batched re-solve. A flow whose path crosses a
 //    saturated/zero-capacity link gets rate 0 and can never complete; such
-//    flows are aborted immediately instead of stalling forever.
+//    flows are aborted immediately instead of stalling forever. The next
+//    completion event is armed from an incremental CompletionIndex (projected
+//    absolute finish times, re-keyed only for the flows each component
+//    re-solve actually updated) instead of a per-event O(active) scan.
+//
+// The manager also implements net::RateOracle: what-if transfer-rate and
+// transfer-time queries against the live network, consumed by the
+// contention-aware scheduling policies (see rate_oracle.hpp).
 //
 // Transfers abort with success=false when either endpoint leaves the system.
 #pragma once
@@ -20,13 +27,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "grid/completion_index.hpp"
 #include "net/flow_sharing.hpp"
+#include "net/rate_oracle.hpp"
 #include "net/routing.hpp"
 #include "sim/engine.hpp"
 
 namespace dpjit::grid {
 
-class TransferManager {
+class TransferManager : public net::RateOracle {
  public:
   enum class Mode { kBottleneck, kFairSharing };
 
@@ -55,6 +64,20 @@ class TransferManager {
   [[nodiscard]] double total_delivered_mb() const { return delivered_mb_; }
   [[nodiscard]] Mode mode() const { return mode_; }
 
+  // --- net::RateOracle -------------------------------------------------------
+
+  /// Rate a new src->dst transfer would get right now. Bottleneck mode: the
+  /// routed path's bottleneck bandwidth (flows never contend). Fair mode: a
+  /// side-effect-free what-if probe of the incremental max-min solver against
+  /// the current in-flight flow set.
+  [[nodiscard]] double predicted_rate_mbps(NodeId src, NodeId dst) const override;
+
+  /// latency(path) + size_mb / predicted_rate_mbps. 0 for loopback; +inf for
+  /// unreachable pairs and saturated (zero-rate) paths. In fair mode this
+  /// extrapolates the instantaneous allocation over the whole transfer.
+  [[nodiscard]] double expected_transfer_time_s(NodeId src, NodeId dst,
+                                                double size_mb) const override;
+
  private:
   struct Flow {
     NodeId src;
@@ -78,7 +101,10 @@ class TransferManager {
   void fair_flow_started(std::uint64_t id);
   /// Integrates remaining_mb of every fluid flow up to engine time.
   void fair_advance_to_now();
-  /// Pulls solver_.updated() into the flows' rate_mbps.
+  /// Pulls solver_.updated() into the flows' rate_mbps and re-keys their
+  /// next-completion projections (the only entries a component re-solve can
+  /// invalidate; every other flow's projected finish is unchanged while its
+  /// rate is).
   void fair_apply_updated_rates();
   /// Zero-rate stall guard: aborts any fluid flow the last re-solve left
   /// with rate <= 0 (saturated/zero-capacity link) - such a flow can never
@@ -97,6 +123,10 @@ class TransferManager {
   Mode mode_;
   std::unordered_map<std::uint64_t, Flow> flows_;
   net::FairShareSolver solver_;
+  /// Fair mode: projected absolute finish per fluid flow, min-heap-ordered.
+  CompletionIndex next_completion_;
+  /// Arming scratch: ids tied at the index minimum (usually exactly one).
+  std::vector<std::uint64_t> tie_scratch_;
   std::uint64_t next_id_ = 1;
   std::uint64_t completed_ = 0;
   double delivered_mb_ = 0.0;

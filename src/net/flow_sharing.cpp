@@ -172,7 +172,7 @@ double FairShareSolver::rate(std::uint64_t id) const {
   return it->second.rate;
 }
 
-void FairShareSolver::collect_component(const std::vector<LinkId>& seed_links) {
+void FairShareSolver::collect_component(const std::vector<LinkId>& seed_links) const {
   comp_links_.clear();
   comp_flows_.clear();
   for (const LinkId l : seed_links) {
@@ -185,7 +185,7 @@ void FairShareSolver::collect_component(const std::vector<LinkId>& seed_links) {
   // BFS over the flow/link sharing graph; comp_links_ doubles as the frontier.
   for (std::size_t head = 0; head < comp_links_.size(); ++head) {
     for (const LinkSlot& s : link_flows_[comp_links_[head]]) {
-      FlowRec& f = flows_.find(s.flow)->second;
+      const FlowRec& f = flows_.find(s.flow)->second;
       if (f.mark == epoch_) continue;
       f.mark = epoch_;
       comp_flows_.push_back(s.flow);
@@ -262,6 +262,74 @@ void FairShareSolver::solve_component() {
     FlowRec& f = flows_.find(fid)->second;
     if (!f.frozen) f.rate = 0.0;  // stalemate fallback, mirrors the reference
     updated_.emplace_back(fid, f.rate);
+  }
+}
+
+double FairShareSolver::probe_rate(const std::vector<LinkId>& links) const {
+  if (links.empty()) return kInf;  // loopback: no shared resource
+  ++epoch_;
+  collect_component(links);
+
+  // Mirror solve_component()'s initialization, with the probe flow's
+  // crossings counted into the active sets but the flow itself kept phantom:
+  // it never enters link_flows_, so the freeze scan below only ever touches
+  // real flows. Every arithmetic operation up to the probe flow's freeze
+  // round is then operation-for-operation identical to what add() would do,
+  // which is what makes probe == rate-after-add bit-exact.
+  for (const std::uint32_t li : comp_links_) {
+    remaining_[li] = caps_[li];
+    active_[li] = 0;
+    bottleneck_[li] = 0;
+  }
+  for (const std::uint64_t fid : comp_flows_) {
+    const FlowRec& f = flows_.find(fid)->second;
+    f.frozen = false;
+    for (const LinkId l : f.links) ++active_[static_cast<std::size_t>(l.get())];
+  }
+  for (const LinkId l : links) {
+    assert(l.valid() && static_cast<std::size_t>(l.get()) < caps_.size());
+    ++active_[static_cast<std::size_t>(l.get())];
+  }
+
+  while (true) {
+    double share = std::numeric_limits<double>::infinity();
+    for (const std::uint32_t li : comp_links_) {
+      if (active_[li] > 0) share = std::min(share, remaining_[li] / active_[li]);
+    }
+    // The probe flow keeps every link it crosses active until it freezes, so
+    // `share` stays finite; guard anyway to mirror the solver's defense.
+    if (!std::isfinite(share)) return 0.0;
+    share = std::max(share, 0.0);
+
+    for (const std::uint32_t li : comp_links_) {
+      bottleneck_[li] =
+          active_[li] > 0 && remaining_[li] / active_[li] <= share * (1.0 + kShareTolerance);
+    }
+
+    // The probe flow freezes (at exactly this round's share) as soon as any
+    // of its links is in the bottleneck mask - the same round-synchronous
+    // condition add()'s solve applies to the real flow.
+    for (const LinkId l : links) {
+      if (bottleneck_[static_cast<std::size_t>(l.get())]) return share;
+    }
+
+    bool froze_any = false;
+    for (const std::uint32_t li : comp_links_) {
+      if (!bottleneck_[li]) continue;
+      for (const LinkSlot& s : link_flows_[li]) {
+        const FlowRec& f = flows_.find(s.flow)->second;
+        if (f.frozen) continue;
+        f.frozen = true;
+        froze_any = true;
+        for (const LinkId fl : f.links) {
+          const auto i = static_cast<std::size_t>(fl.get());
+          remaining_[i] -= share;
+          if (remaining_[i] < 0.0) remaining_[i] = 0.0;
+          --active_[i];
+        }
+      }
+    }
+    if (!froze_any) return 0.0;  // numerical stalemate: mirrors the 0-rate fallback
   }
 }
 

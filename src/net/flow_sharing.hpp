@@ -78,6 +78,19 @@ class FairShareSolver {
   /// Current rate of a present flow (Mb/s; +inf for empty paths).
   [[nodiscard]] double rate(std::uint64_t id) const;
 
+  /// What-if probe: the max-min rate a *hypothetical* new flow crossing
+  /// `links` would be allocated if it joined right now. Bit-identical to the
+  /// rate `add()` would assign (same component collection, same
+  /// round-synchronous freeze arithmetic, early-out at the round the probe
+  /// flow would freeze), but without mutating any observable solver state:
+  /// no present flow's rate, path, or membership changes, and a subsequent
+  /// mutation behaves exactly as if the probe never ran (property-tested via
+  /// a state digest over 10k probes). Empty `links` (loopback) returns +inf;
+  /// a path crossing a saturated/zero-capacity link returns 0. Only the
+  /// epoch-stamped scratch arrays are touched (declared `mutable`), so this
+  /// is const but NOT safe to call concurrently with any other member.
+  [[nodiscard]] double probe_rate(const std::vector<LinkId>& links) const;
+
   [[nodiscard]] bool contains(std::uint64_t id) const { return flows_.count(id) > 0; }
   [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
   [[nodiscard]] std::size_t link_count() const { return caps_.size(); }
@@ -99,8 +112,10 @@ class FairShareSolver {
     /// these in sync; duplicate links get one slot per crossing).
     std::vector<std::uint32_t> slot;
     double rate = 0.0;
-    std::uint64_t mark = 0;  ///< BFS epoch stamp (component collection)
-    bool frozen = false;     ///< scratch of the current solve round
+    /// BFS epoch stamp (component collection). `mutable`: pure solve scratch,
+    /// written by the const probe path too.
+    mutable std::uint64_t mark = 0;
+    mutable bool frozen = false;  ///< scratch of the current solve round
   };
 
   /// One entry of a link's flow set: the flow id plus which of the flow's
@@ -113,7 +128,8 @@ class FairShareSolver {
   void unlink(FlowRec& rec);
   /// Collects the component(s) reachable from `seed_links` into comp_flows_ /
   /// comp_links_ (excluding flows already marked with the current epoch).
-  void collect_component(const std::vector<LinkId>& seed_links);
+  /// const: only epoch-stamped scratch and the mutable FlowRec marks move.
+  void collect_component(const std::vector<LinkId>& seed_links) const;
   /// Round-synchronous max-min solve restricted to the collected component;
   /// fills updated_ with the new rates.
   void solve_component();
@@ -122,14 +138,16 @@ class FairShareSolver {
   std::unordered_map<std::uint64_t, FlowRec> flows_;
   std::vector<std::vector<LinkSlot>> link_flows_;
 
-  // --- solve scratch (allocated once; epoch-stamped to avoid O(links) clears)
-  std::uint64_t epoch_ = 0;
-  std::vector<std::uint64_t> link_mark_;
-  std::vector<double> remaining_;
-  std::vector<int> active_;
-  std::vector<char> bottleneck_;
-  std::vector<std::uint32_t> comp_links_;
-  std::vector<std::uint64_t> comp_flows_;
+  // --- solve scratch (allocated once; epoch-stamped to avoid O(links)
+  // clears). `mutable` so the side-effect-free probe_rate() can reuse the
+  // exact machinery the mutating solves run on.
+  mutable std::uint64_t epoch_ = 0;
+  mutable std::vector<std::uint64_t> link_mark_;
+  mutable std::vector<double> remaining_;
+  mutable std::vector<int> active_;
+  mutable std::vector<char> bottleneck_;
+  mutable std::vector<std::uint32_t> comp_links_;
+  mutable std::vector<std::uint64_t> comp_flows_;
   std::vector<std::pair<std::uint64_t, double>> updated_;
 };
 

@@ -59,8 +59,20 @@ TEST(Registry, UnknownThrows) {
 
 TEST(Registry, AllAlgorithmsIncludesVariants) {
   const auto all = all_algorithms();
-  EXPECT_EQ(all.size(), 14u);
+  EXPECT_EQ(all.size(), 16u);
   for (const auto& name : all) EXPECT_NO_THROW(make_algorithm(name));
+}
+
+TEST(Registry, ContentionAwareExtensionsRegistered) {
+  const auto ca = make_algorithm("dsmf-ca");
+  EXPECT_FALSE(ca.full_ahead());
+  EXPECT_EQ(ca.make_first()->name(), "dsmf-ca");
+  EXPECT_EQ(ca.make_second()->name(), "dsmf");
+
+  const auto tc = make_algorithm("dsmf-tc");
+  EXPECT_FALSE(tc.full_ahead());
+  EXPECT_EQ(tc.make_first()->name(), "dsmf");
+  EXPECT_EQ(tc.make_second()->name(), "tcms");
 }
 
 TEST(Registry, LookaheadHeftExtensionRegistered) {

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <random>
 #include <set>
 
@@ -178,6 +180,120 @@ TEST(FairShareSolver, RandomizedDifferentialAgainstFullSolve) {
       // (covered by expect_matches_full_solve above).
     }
   }
+}
+
+/// FNV-1a over everything observable about the solver: flow membership,
+/// per-flow rates (bit patterns) and the full_solve() cross-check. Any state
+/// mutation a probe leaked would either show up here directly or desync a
+/// later incremental solve from the reference (caught by the differential
+/// checks that run after every mutation below).
+std::uint64_t solver_state_digest(const FairShareSolver& solver,
+                                  const std::vector<std::uint64_t>& live) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  auto sorted = live;
+  std::sort(sorted.begin(), sorted.end());
+  mix(solver.flow_count());
+  for (const std::uint64_t id : sorted) {
+    mix(id);
+    mix(std::bit_cast<std::uint64_t>(solver.rate(id)));
+  }
+  return h;
+}
+
+TEST(FairShareSolver, ProbeIsSideEffectFreeUnderRandomizedChurn) {
+  // The ISSUE-5 oracle property: 10k+ what-if probes interleaved with a
+  // randomized add/remove churn history must leave the solver state digest
+  // bit-identical, and every subsequent incremental solve must still match
+  // the from-scratch reference.
+  std::mt19937_64 gen(0x9a0be);
+  const std::size_t n_links = 6;
+  std::vector<double> caps;
+  std::uniform_real_distribution<double> cap(0.5, 16.0);
+  for (std::size_t l = 0; l < n_links; ++l) caps.push_back(cap(gen));
+  FairShareSolver solver(caps);
+  std::vector<std::uint64_t> live;
+  std::uint64_t next_id = 1;
+  std::uniform_int_distribution<int> op_pick(0, 9);
+  std::uniform_int_distribution<std::size_t> len(0, 4);
+  std::uniform_int_distribution<std::size_t> pick(0, n_links - 1);
+  auto random_links = [&] {
+    std::vector<LinkId> links;
+    const std::size_t want = len(gen);
+    for (std::size_t k = 0; k < want; ++k) {
+      links.push_back(LinkId{static_cast<LinkId::underlying_type>(pick(gen))});
+    }
+    return links;
+  };
+
+  int probes = 0;
+  for (int op = 0; op < 120; ++op) {
+    if (live.empty() || op_pick(gen) < 6) {
+      solver.add(next_id, random_links());
+      live.push_back(next_id++);
+    } else {
+      std::uniform_int_distribution<std::size_t> at(0, live.size() - 1);
+      const std::size_t k = at(gen);
+      solver.remove(live[k]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+    const std::uint64_t before = solver_state_digest(solver, live);
+    for (int p = 0; p < 100; ++p, ++probes) {
+      (void)solver.probe_rate(random_links());
+    }
+    ASSERT_EQ(solver_state_digest(solver, live), before)
+        << "probe mutated solver state after op " << op;
+    expect_matches_full_solve(solver);
+  }
+  EXPECT_GE(probes, 10000);
+}
+
+TEST(FairShareSolver, ProbeMatchesSubsequentAddBitExact) {
+  // probe_rate must predict exactly the rate add() then assigns - same
+  // component collection, same round-synchronous arithmetic.
+  std::mt19937_64 gen(0x50be);
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t n_links = 3 + round % 4;
+    std::vector<double> caps;
+    std::uniform_real_distribution<double> cap(0.5, 16.0);
+    for (std::size_t l = 0; l < n_links; ++l) caps.push_back(cap(gen));
+    FairShareSolver solver(caps);
+    std::uint64_t next_id = 1;
+    std::uniform_int_distribution<std::size_t> len(0, 3);
+    std::uniform_int_distribution<std::size_t> pick(0, n_links - 1);
+    for (int op = 0; op < 60; ++op) {
+      std::vector<LinkId> links;
+      const std::size_t want = len(gen);
+      for (std::size_t k = 0; k < want; ++k) {
+        links.push_back(LinkId{static_cast<LinkId::underlying_type>(pick(gen))});
+      }
+      const double predicted = solver.probe_rate(links);
+      solver.add(next_id, links);
+      const double actual = solver.rate(next_id);
+      if (std::isinf(predicted)) {
+        EXPECT_TRUE(std::isinf(actual));
+      } else {
+        EXPECT_EQ(predicted, actual) << "round " << round << " op " << op;
+      }
+      ++next_id;
+    }
+  }
+}
+
+TEST(FairShareSolver, ProbeEdgeCases) {
+  FairShareSolver s({10.0, 0.0, 4.0});
+  EXPECT_TRUE(std::isinf(s.probe_rate({})));                      // loopback
+  EXPECT_DOUBLE_EQ(s.probe_rate({LinkId{1}}), 0.0);               // dead link
+  EXPECT_DOUBLE_EQ(s.probe_rate({LinkId{0}}), 10.0);              // idle link
+  EXPECT_DOUBLE_EQ(s.probe_rate({LinkId{0}, LinkId{2}}), 4.0);    // min cap
+  s.add(1, {LinkId{0}});
+  EXPECT_DOUBLE_EQ(s.probe_rate({LinkId{0}}), 5.0);  // would share with flow 1
+  EXPECT_DOUBLE_EQ(s.rate(1), 10.0);                 // ... which keeps its rate
 }
 
 TEST(FairShareSolver, ManyDisjointComponentsStayIndependent) {

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Markdown checker for the repo docs (stdlib only, no network).
+
+Usage: check_docs.py FILE.md [FILE.md ...]
+
+Checks, per file:
+  - every relative markdown link [text](path) resolves to an existing file
+    (relative to the file containing the link);
+  - intra-document and cross-document anchors (#heading-slug) resolve to a
+    real heading, using GitHub's slug rules (lowercase, spaces -> dashes,
+    punctuation stripped);
+  - fenced code blocks are balanced (an odd number of ``` fences means a
+    block never closed and everything below renders as code);
+  - no literal tab characters (they render inconsistently in tables).
+
+External http(s) links are *not* fetched - CI must not depend on third-party
+uptime - but their markdown syntax is still validated.
+
+Exit code 0 = clean, 1 = problems found (each printed as file:line: message).
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip formatting/punctuation, lowercase, dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # drop code spans, keep text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def collect_anchors(path: str) -> set:
+    anchors = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                slug = github_slug(m.group(2))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_file(path: str, anchor_cache: dict) -> list:
+    problems = []
+    base_dir = os.path.dirname(os.path.abspath(path))
+    fence_opens = 0
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        lines = f.readlines()
+    for lineno, line in enumerate(lines, 1):
+        if "\t" in line:
+            problems.append(f"{path}:{lineno}: literal tab character")
+        if line.lstrip().startswith("```"):
+            fence_opens += 1
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                file_part, anchor = path, target[1:]
+            else:
+                file_part, _, anchor = target.partition("#")
+                file_part = os.path.normpath(os.path.join(base_dir, file_part))
+            if not os.path.exists(file_part):
+                problems.append(f"{path}:{lineno}: broken link target '{target}'")
+                continue
+            if anchor and file_part.endswith(".md"):
+                if file_part not in anchor_cache:
+                    anchor_cache[file_part] = collect_anchors(file_part)
+                if anchor not in anchor_cache[file_part]:
+                    problems.append(
+                        f"{path}:{lineno}: anchor '#{anchor}' not found in {file_part}"
+                    )
+    if fence_opens % 2 != 0:
+        problems.append(f"{path}: unbalanced ``` code fences ({fence_opens} markers)")
+    return problems
+
+
+def main() -> None:
+    files = sys.argv[1:]
+    if not files:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    anchor_cache = {}
+    problems = []
+    for path in files:
+        if not os.path.exists(path):
+            problems.append(f"{path}: file not found")
+            continue
+        problems.extend(check_file(path, anchor_cache))
+    for p in problems:
+        print(p, file=sys.stderr)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_docs: {len(files)} file(s) clean")
+
+
+if __name__ == "__main__":
+    main()

@@ -55,16 +55,21 @@ def main() -> None:
     base_tr = "transfer"
     if current.get("quick") and "quick_transfer" in baseline:
         base_tr = "quick_transfer"
+    base_nc = "next_completion"
+    if current.get("quick") and "quick_next_completion" in baseline:
+        base_nc = "quick_next_completion"
     watched = [
         ("event_queue", base_eq, "schedule_pop_speedup"),
         ("event_queue", base_eq, "schedule_cancel_pop_speedup"),
         ("transfer", base_tr, "fair_sharing_speedup"),
+        ("next_completion", base_nc, "arming_speedup"),
     ]
     info = [
         ("event_queue", "current_schedule_pop_mops"),
         ("event_queue", "current_schedule_cancel_pop_mops"),
         ("transfer", "current_steady_completions_per_s"),
         ("transfer", "teardown_speedup"),
+        ("next_completion", "index_completions_per_s"),
         ("end_to_end", "events_per_s"),
         ("routing", "build_ms"),
     ]

@@ -1,6 +1,7 @@
 // Scenario library front-end.
 //
 //   scenario_runner --list [--json]          enumerate registered scenarios
+//   scenario_runner --describe=NAME [--json] full metadata + resolved config
 //   scenario_runner --run=NAME [overrides]   run one scenario at full scale
 //   scenario_runner --digest [--run=NAME]    conformance digests (golden doc)
 //
@@ -34,22 +35,95 @@ int list_scenarios(bool as_json) {
     const auto& all = reg.all();
     for (std::size_t i = 0; i < all.size(); ++i) {
       const auto& s = all[i];
-      std::cout << "  {\"name\": \"" << util::json_escape(s.name) << "\", \"tier\": \""
-                << exp::to_string(s.tier) << "\", \"paper_section\": \""
-                << util::json_escape(s.paper_section) << "\", \"description\": \""
-                << util::json_escape(s.description) << "\"}" << (i + 1 < all.size() ? "," : "")
-                << "\n";
+      const auto cfg = s.config();
+      std::cout << "  {\"name\": \"" << util::json_escape(s.name) << "\",";
+      std::cout << " \"tier\": \"" << exp::to_string(s.tier) << "\",";
+      std::cout << " \"paper_section\": \"" << util::json_escape(s.paper_section) << "\",";
+      std::cout << " \"algorithm\": \"" << util::json_escape(cfg.algorithm) << "\",";
+      std::cout << " \"nodes\": " << cfg.nodes << ",";
+      std::cout << " \"conformance_nodes\": " << exp::conformance_nodes(cfg.nodes) << ",";
+      std::cout << " \"description\": \"" << util::json_escape(s.description) << "\"}";
+      std::cout << (i + 1 < all.size() ? "," : "") << "\n";
     }
     std::cout << "]\n";
     return 0;
   }
-  util::TablePrinter table({"scenario", "tier", "paper", "description"});
+  util::TablePrinter table({"scenario", "tier", "paper", "algorithm", "nodes", "description"});
   for (const auto& s : reg.all()) {
+    const auto cfg = s.config();
     table.add_row({s.name, std::string(exp::to_string(s.tier)),
-                   s.paper_section.empty() ? "-" : s.paper_section, s.description});
+                   s.paper_section.empty() ? "-" : s.paper_section, cfg.algorithm,
+                   std::to_string(cfg.nodes), s.description});
   }
   table.print(std::cout);
-  std::cout << "\n" << reg.size() << " scenarios. Run one: scenario_runner --run=<name>\n";
+  std::cout << "\n"
+            << reg.size()
+            << " scenarios. Run one: scenario_runner --run=<name>; full metadata: "
+               "scenario_runner --describe=<name>\n";
+  return 0;
+}
+
+/// Full metadata + the resolved full-scale configuration of one scenario, so
+/// the docs/EXPERIMENTS.md catalogue can be diffed against the binary truth.
+int describe_scenario(const std::string& name, bool as_json) {
+  const auto* s = exp::scenario_registry().find(name);
+  if (s == nullptr) {
+    std::cerr << "scenario_runner: unknown scenario '" << name << "' (try --list)\n";
+    return 1;
+  }
+  const auto cfg = s->config();
+  const int conf_nodes = exp::conformance_nodes(cfg.nodes);
+  const char* arrivals = "closed-t0";
+  if (cfg.bursts.wave_count > 0) {
+    arrivals = "burst-waves";
+  } else if (cfg.mean_interarrival_s > 0.0) {
+    arrivals = "open-poisson";
+  }
+  if (as_json) {
+    std::cout << "{\n";
+    std::cout << "  \"name\": \"" << util::json_escape(s->name) << "\",\n";
+    std::cout << "  \"description\": \"" << util::json_escape(s->description) << "\",\n";
+    std::cout << "  \"tier\": \"" << exp::to_string(s->tier) << "\",\n";
+    std::cout << "  \"paper_section\": \"" << util::json_escape(s->paper_section) << "\",\n";
+    std::cout << "  \"algorithm\": \"" << util::json_escape(cfg.algorithm) << "\",\n";
+    std::cout << "  \"nodes\": " << cfg.nodes << ",\n";
+    std::cout << "  \"workflows_per_node\": " << cfg.workflows_per_node << ",\n";
+    std::cout << "  \"horizon_hours\": " << cfg.system.horizon_s / 3600.0 << ",\n";
+    std::cout << "  \"seed\": " << cfg.seed << ",\n";
+    std::cout << "  \"fair_sharing\": " << (cfg.fair_sharing ? "true" : "false") << ",\n";
+    std::cout << "  \"dynamic_factor\": " << cfg.dynamic_factor << ",\n";
+    std::cout << "  \"reschedule\": " << (cfg.reschedule ? "true" : "false") << ",\n";
+    std::cout << "  \"load_mi\": [" << cfg.workflow.min_load_mi << ", ";
+    std::cout << cfg.workflow.max_load_mi << "],\n";
+    std::cout << "  \"data_mb\": [" << cfg.workflow.min_data_mb << ", ";
+    std::cout << cfg.workflow.max_data_mb << "],\n";
+    std::cout << "  \"arrival_process\": \"" << arrivals << "\",\n";
+    std::cout << "  \"workload_mix_entries\": " << cfg.workload_mix.size() << ",\n";
+    std::cout << "  \"conformance_nodes\": " << conf_nodes << "\n";
+    std::cout << "}\n";
+    return 0;
+  }
+  std::cout << "scenario:          " << s->name << "\n";
+  std::cout << "description:       " << s->description << "\n";
+  std::cout << "tier:              " << exp::to_string(s->tier) << "\n";
+  std::cout << "paper section:     " << (s->paper_section.empty() ? "-" : s->paper_section) << "\n";
+  std::cout << "algorithm:         " << cfg.algorithm << "\n";
+  std::cout << "nodes:             " << cfg.nodes << "\n";
+  std::cout << "workflows/node:    " << cfg.workflows_per_node << "\n";
+  std::cout << "horizon:           " << cfg.system.horizon_s / 3600.0 << " h\n";
+  std::cout << "seed:              " << cfg.seed << "\n";
+  std::cout << "fair sharing:      " << (cfg.fair_sharing ? "yes" : "no") << "\n";
+  std::cout << "dynamic factor:    " << cfg.dynamic_factor << "\n";
+  std::cout << "reschedule failed: " << (cfg.reschedule ? "yes" : "no") << "\n";
+  std::cout << "task load (MI):    [" << cfg.workflow.min_load_mi << ", ";
+  std::cout << cfg.workflow.max_load_mi << "]\n";
+  std::cout << "edge data (Mb):    [" << cfg.workflow.min_data_mb << ", ";
+  std::cout << cfg.workflow.max_data_mb << "]\n";
+  std::cout << "arrival process:   " << arrivals << "\n";
+  std::cout << "workload mix:      " << (cfg.workload_mix.empty() ? "random-only" : "mixed");
+  std::cout << "\n";
+  std::cout << "conformance nodes: " << conf_nodes;
+  std::cout << " (digest pinned in tests/scenario/golden_digests.json)\n";
   return 0;
 }
 
@@ -117,6 +191,10 @@ int main(int argc, char** argv) {
   if (name.empty() && !cli.positional().empty()) name = cli.positional().front();
 
   if (cli.get_bool("digest", false)) return emit_digests(name);
+  // Accept both --describe=NAME and `--describe NAME` (positional).
+  std::string describe = cli.get_string("describe", "");
+  if (describe.empty() && cli.get_bool("describe", false) && !name.empty()) describe = name;
+  if (!describe.empty()) return describe_scenario(describe, as_json);
   if (cli.get_bool("list", false) || name.empty()) return list_scenarios(as_json);
   return run_scenario(cli, name, as_json);
 }
