@@ -1,6 +1,6 @@
 // Performance-regression harness for the simulation hot path.
 //
-// Times five things and emits one JSON document (see BENCH_*.json for the
+// Times six things and emits one JSON document (see BENCH_*.json for the
 // recorded baseline-vs-current numbers):
 //   1. EventQueue micro-ops (schedule/pop and schedule/cancel throughput),
 //      both for the current sim::EventQueue and for a frozen copy of the
@@ -19,7 +19,13 @@
 //      PR-4 path whose arming was an O(active) minimum-scan per mutation;
 //   5. an end-to-end fig11-style run (one DSMF experiment at --nodes, full
 //      36 h horizon) with a bitwise digest of the result metrics so perf
-//      changes that perturb simulation output are caught immediately.
+//      changes that perturb simulation output are caught immediately;
+//   6. the sharded PDES engine: one event-dense scale-model run serial
+//      (shards=1) and one sharded (shards=4, pool threads at hardware
+//      concurrency). The two digests must be identical - a divergence is a
+//      hard failure, not a perf number - and the serial/sharded wall-clock
+//      ratio is recorded as sharded_speedup (~1.0 on single-core runners,
+//      >1 where the worker pool has cores to use).
 //
 // Usage: perf_harness [--quick] [--nodes=500] [--ops=6000000] [--seed=1]
 //                     [--tflows=1000] [--tcomps=600] [--acomps=10000]
@@ -39,6 +45,7 @@
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "exp/scale_model.hpp"
 #include "grid/transfer_manager.hpp"
 #include "net/routing.hpp"
 #include "sim/event_queue.hpp"
@@ -655,7 +662,7 @@ int main(int argc, char** argv) {
   auto median3 = [](double a, double b, double c) {
     return std::max(std::min(a, b), std::min(std::max(a, b), c));
   };
-  std::fprintf(stderr, "[1/5] event-queue micro-ops (%zu ops/run)...\n", ops);
+  std::fprintf(stderr, "[1/6] event-queue micro-ops (%zu ops/run)...\n", ops);
   double base_sp[3], cur_sp[3], base_sc[3], cur_sc[3];
   for (int r = 0; r < 3; ++r) {
     base_sp[r] = bench_schedule_pop<BaselineEventQueue>(ops, sink);
@@ -669,7 +676,7 @@ int main(int argc, char** argv) {
   const double current_cancel = median3(cur_sc[0], cur_sc[1], cur_sc[2]);
 
   // --- 2. Routing construction ---------------------------------------------
-  std::fprintf(stderr, "[2/5] routing build (n=%d)...\n", nodes);
+  std::fprintf(stderr, "[2/6] routing build (n=%d)...\n", nodes);
   util::Rng topo_rng(seed);
   net::TopologyParams tp;
   tp.node_count = nodes;
@@ -692,7 +699,7 @@ int main(int argc, char** argv) {
   // --- 3. Transfer-heavy fair-sharing benchmarks ----------------------------
   // Fixed 128-node topology regardless of --nodes: the metric is flow-event
   // throughput at --tflows concurrent fluid flows, not topology scale.
-  std::fprintf(stderr, "[3/5] fair-sharing transfers (%zu concurrent, %llu completions)...\n",
+  std::fprintf(stderr, "[3/6] fair-sharing transfers (%zu concurrent, %llu completions)...\n",
                tflows, static_cast<unsigned long long>(tcomps));
   double base_steady = 0.0, cur_steady = 0.0, base_teardown = 0.0, cur_teardown = 0.0;
   {
@@ -724,7 +731,7 @@ int main(int argc, char** argv) {
   // --- 4. Next-completion arming (scan vs CompletionIndex) ------------------
   // 512 disjoint pairs so the solver work per event is O(1): what remains is
   // the per-flow passes, isolating the arming strategy the index replaced.
-  std::fprintf(stderr, "[4/5] next-completion arming (%zu flows, %llu completions)...\n",
+  std::fprintf(stderr, "[4/6] next-completion arming (%zu flows, %llu completions)...\n",
                tflows, static_cast<unsigned long long>(acomps));
   double scan_arming = 0.0, index_arming = 0.0;
   {
@@ -740,7 +747,7 @@ int main(int argc, char** argv) {
   }
 
   // --- 5. End-to-end fig11-style run ---------------------------------------
-  std::fprintf(stderr, "[5/5] end-to-end dsmf run (n=%d, 36 h horizon)...\n", nodes);
+  std::fprintf(stderr, "[5/6] end-to-end dsmf run (n=%d, 36 h horizon)...\n", nodes);
   exp::ExperimentConfig cfg;
   cfg.algorithm = "dsmf";
   cfg.nodes = nodes;
@@ -748,6 +755,32 @@ int main(int argc, char** argv) {
   const double e2e_t0 = now_s();
   const auto result = exp::run_experiment(cfg);
   const double e2e_wall = now_s() - e2e_t0;
+
+  // --- 6. Sharded PDES engine (scale model, serial vs sharded) --------------
+  // Denser than the scale/* defaults (short gossip/transfer periods) so
+  // windows carry enough events to clear the parallel threshold where cores
+  // exist; --quick only shortens the horizon so per-window density - and
+  // with it the speedup being measured - stays comparable.
+  const auto speers = static_cast<int>(cli.get_int("speers", 200000));
+  std::fprintf(stderr, "[6/6] shard engine scale model (%d peers, shards 1 vs 4)...\n", speers);
+  exp::ScaleParams sp;
+  sp.peers = speers;
+  sp.horizon_s = quick ? 120.0 : 600.0;
+  sp.gossip_period_s = 60.0;
+  sp.task_period_s = 300.0;
+  sp.transfer_period_s = 120.0;
+  sp.seed = seed;
+  sp.shards = 1;
+  const exp::ScaleResult scale_serial = exp::run_scale_model(sp);
+  sp.shards = 4;
+  const exp::ScaleResult scale_sharded = exp::run_scale_model(sp);
+  const std::uint64_t shard_digest = exp::scale_digest(scale_serial);
+  if (shard_digest != exp::scale_digest(scale_sharded)) {
+    std::cerr << "perf_harness: sharded scale-model digest diverged from serial ("
+              << exp::scale_digest(scale_sharded) << " != " << shard_digest
+              << "): the shard engine broke determinism\n";
+    return 1;
+  }
 
   // --- emit ----------------------------------------------------------------
   std::ostringstream json;
@@ -801,6 +834,20 @@ int main(int argc, char** argv) {
     w.kv("ae", result.ae);
     w.kv("result_digest", exp::result_digest(result));
     w.end_object();
+    w.key("shard_engine").begin_object();
+    w.kv("peers", static_cast<std::int64_t>(speers));
+    w.kv("horizon_s", sp.horizon_s);
+    w.kv("shards", static_cast<std::int64_t>(sp.shards));
+    w.kv("events", scale_serial.events_processed);
+    w.kv("windows", scale_serial.windows);
+    w.kv("parallel_windows", scale_sharded.parallel_windows);
+    w.kv("serial_s", scale_serial.wall_s);
+    w.kv("sharded_s", scale_sharded.wall_s);
+    w.kv("sharded_speedup", scale_serial.wall_s / std::max(scale_sharded.wall_s, 1e-9));
+    w.kv("serial_events_per_s",
+         static_cast<double>(scale_serial.events_processed) / std::max(scale_serial.wall_s, 1e-9));
+    w.kv("scale_digest", shard_digest);
+    w.end_object();
     w.end_object();
   }
   json << "\n";
@@ -824,13 +871,16 @@ int main(int argc, char** argv) {
                "fair steady-state %.0f -> %.0f completions/s (%.2fx)\n"
                "fair teardown %.2f -> %.2f ms (%.1fx)\n"
                "next-completion arming %.0f -> %.0f completions/s (%.2fx)\n"
-               "end-to-end n=%d: %.2f s wall, %llu events (%.0f events/s)\n",
+               "end-to-end n=%d: %.2f s wall, %llu events (%.0f events/s)\n"
+               "shard engine %d peers: serial %.2f s vs 4-shard %.2f s (%.2fx, digest ok)\n",
                baseline_pop, current_pop, current_pop / baseline_pop, baseline_cancel,
                current_cancel, current_cancel / baseline_cancel, nodes, routing_ms, base_steady,
                cur_steady, cur_steady / base_steady, base_teardown, cur_teardown,
                base_teardown / std::max(cur_teardown, 1e-9), scan_arming, index_arming,
                index_arming / scan_arming, nodes, e2e_wall,
                static_cast<unsigned long long>(result.events_processed),
-               static_cast<double>(result.events_processed) / e2e_wall);
+               static_cast<double>(result.events_processed) / e2e_wall, speers,
+               scale_serial.wall_s, scale_sharded.wall_s,
+               scale_serial.wall_s / std::max(scale_sharded.wall_s, 1e-9));
   return sink == 0xdeadbeef ? 2 : 0;
 }

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "exp/scale_model.hpp"
+
 namespace dpjit::exp {
 namespace {
 
@@ -174,6 +176,38 @@ ScenarioRegistry build_registry() {
              c.system.churn.wave_every = 4;
              c.system.churn.wave_multiplier = 3.0;
            })});
+  // --- sharded scale family (ROADMAP item 1) -------------------------------
+  // These run exp::run_scale_model on the conservative time-window engine
+  // (sim::ShardEngine) instead of the full GridSystem world: O(1)-state peers
+  // over a routed region backbone, so 10^5-10^6 peers are reachable and the
+  // run accepts a shard count with byte-identical digests at every count.
+  reg.add({"scale/peers-100k",
+           "10^5-peer sharded scale model: push-pull gossip, task execution and bulk "
+           "transfers over a 64-region backbone, 1 h horizon",
+           "", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) {
+             c.nodes = 100000;
+             c.system.horizon_s = 3600.0;
+           }),
+           /*sharded=*/true});
+  reg.add({"scale/peers-churn-100k",
+           "10^5-peer scale model under churn (dynamic factor 0.2): departures notify "
+           "contacts cross-shard, in-flight work at departed peers is dropped",
+           "", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) {
+             c.nodes = 100000;
+             c.system.horizon_s = 3600.0;
+             c.dynamic_factor = 0.2;
+           }),
+           /*sharded=*/true});
+  reg.add({"scale/million-node",
+           "10^6-peer scale model, 30 min horizon with a 10-minute scheduling period: the "
+           "nightly-CI scale point (expect minutes of wall clock and ~1 GB of memory)",
+           "", RuntimeTier::kSlow, mutate([](ExperimentConfig& c) {
+             c.nodes = 1000000;
+             c.system.horizon_s = 1800.0;
+             c.system.scheduling_interval_s = 600.0;
+           }),
+           /*sharded=*/true});
+
   reg.add({"mixed/multi-template",
            "mixed structured workload: random DAGs plus Montage, fork-join, pipeline and "
            "diamond templates drawn from a weighted mix",
@@ -257,8 +291,18 @@ ExperimentConfig conformance_preset(ExperimentConfig cfg) {
   return cfg;
 }
 
-std::uint64_t conformance_digest(const Scenario& scenario) {
-  return result_digest(run_experiment(conformance_preset(scenario.config())));
+std::uint64_t conformance_digest(const Scenario& scenario) { return conformance_digest(scenario, 1); }
+
+std::uint64_t conformance_digest(const Scenario& scenario, int shards) {
+  const ExperimentConfig cfg = conformance_preset(scenario.config());
+  if (scenario.sharded) {
+    ScaleParams params = scale_params_from_config(cfg);
+    params.shards = shards;
+    return scale_digest(run_scale_model(params));
+  }
+  // Classic scenarios run the serial engine whatever `shards` says — see
+  // Scenario::sharded for why they cannot be partitioned conservatively.
+  return result_digest(run_experiment(cfg));
 }
 
 void write_digest_document(std::ostream& os,

@@ -38,6 +38,14 @@ struct Scenario {
   RuntimeTier tier = RuntimeTier::kMedium;
   /// Shapes a base configuration. Must be pure: same input, same output.
   std::function<ExperimentConfig(ExperimentConfig)> transform;
+  /// True for scale/* scenarios: the run executes the sharded scale model
+  /// (exp::run_scale_model on sim::ShardEngine) instead of the full
+  /// GridSystem world, and a shard count may be applied — with byte-identical
+  /// digests at every count. Classic scenarios cannot shard conservatively
+  /// (fluid fair sharing has zero lookahead, the system draws from shared RNG
+  /// streams), so a shard count is ignored for them and they always run on
+  /// the serial engine.
+  bool sharded = false;
 
   /// Applies the transform to `base` (CLI/bench overrides survive unless the
   /// scenario explicitly owns the knob, e.g. "-n500" scenarios set nodes).
@@ -94,6 +102,12 @@ inline constexpr int kConformanceMaxNodes = 64;
 
 /// Runs one scenario under the conformance preset and digests the result.
 [[nodiscard]] std::uint64_t conformance_digest(const Scenario& scenario);
+
+/// Same, executing a sharded scenario at the given shard count (>= 1). The
+/// digest is shard-invariant — tests/scenario and the shard-determinism CI
+/// job check every count against the SAME golden entry. `shards` is ignored
+/// for non-sharded scenarios (see Scenario::sharded).
+[[nodiscard]] std::uint64_t conformance_digest(const Scenario& scenario, int shards);
 
 /// Writes the canonical golden-digest document (valid JSON, one scenario per
 /// line, sorted by name) — the exact bytes committed as

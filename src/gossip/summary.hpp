@@ -1,0 +1,38 @@
+// Fixed-size commutative peer-state summary for the sharded scale model.
+//
+// The scale model's gossip is a push-pull exchange of these summaries. Unlike
+// the full newscast ResourceView (per-entry timestamps, eviction, O(cache)
+// state), a summary is a constant-size aggregate whose merge() is commutative
+// and associative on integers: merging the same set of incoming summaries
+// yields bit-identical state in any order. The sharded engine already
+// guarantees a deterministic per-receiver delivery order at any shard count,
+// so commutativity is defense in depth — it keeps the model's results
+// well-defined even for hypothetical same-timestamp reorderings.
+#pragma once
+
+#include <cstdint>
+
+namespace dpjit::gossip {
+
+/// What one peer tells another in a single scale-model gossip message.
+struct PeerSummary {
+  /// Lamport-style logical clock: max-merged, bumped on local progress.
+  std::uint64_t clock = 0;
+  /// Tasks the sending peer itself has completed (at send time).
+  std::uint64_t tasks_done = 0;
+  /// Sum of tasks_done over every summary the sender has merged so far —
+  /// the epidemic "how much work has the swarm done" aggregate.
+  std::uint64_t heard_tasks = 0;
+  /// Number of summaries the sender has merged.
+  std::uint64_t merges = 0;
+};
+
+/// Folds `incoming` into `local`: max on the logical clock, sums on the
+/// aggregates. Commutative and associative; never touches the sender.
+inline void merge(PeerSummary& local, const PeerSummary& incoming) {
+  local.clock = local.clock > incoming.clock ? local.clock : incoming.clock;
+  local.heard_tasks += incoming.tasks_done;
+  local.merges += 1;
+}
+
+}  // namespace dpjit::gossip

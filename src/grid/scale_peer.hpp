@@ -1,0 +1,82 @@
+// Node-local state of one simulated peer in the sharded scale model.
+//
+// The shard-determinism contract of exp::run_scale_model requires that a
+// message handler touches ONLY the destination peer's state (plus the
+// engine's outbox): two peers never share mutable state, so shards can drive
+// their peers concurrently without locks. Everything order-sensitive about a
+// peer — its RNG stream, its contact list, its event-order hash — lives
+// here, and all of it evolves purely from the peer's own totally-ordered
+// event sequence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gossip/summary.hpp"
+#include "util/rng.hpp"
+
+namespace dpjit::grid {
+
+/// One peer of the scale model. Plain state; behavior lives in
+/// exp/scale_model.cpp so the struct stays trivially testable.
+struct ScalePeer {
+  /// Per-peer fork of the experiment seed: draws happen only inside this
+  /// peer's own events, so the stream is independent of the shard layout.
+  util::Rng rng{0};
+
+  gossip::PeerSummary summary;
+  /// Gossip/transfer partners (peer ids); pruned by churn notices and
+  /// re-extended by rejoin announcements.
+  std::vector<std::uint32_t> contacts;
+
+  double capacity_mips = 1.0;
+  bool alive = true;
+
+  // --- counters folded into the scenario digest (integers: exact sums) ---
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t transfers_completed = 0;
+  std::uint64_t mb_transferred = 0;
+  std::uint64_t gossip_sent = 0;
+  std::uint64_t gossip_merged = 0;
+  std::uint64_t churn_departures = 0;
+  std::uint64_t churn_rejoins = 0;
+  /// Messages that arrived while this peer was departed.
+  std::uint64_t dropped_messages = 0;
+
+  /// FNV-1a fold of (event kind, payload) per handled event, in handling
+  /// order: equality across shard counts proves the peer saw the SAME events
+  /// in the SAME order, not merely commutatively-equal totals.
+  std::uint64_t order_hash = 1469598103934665603ULL;
+
+  /// Per-sender message counter; combined with the peer id it yields the
+  /// globally unique (time-tie-breaking) message keys sim::ShardEngine needs.
+  std::uint64_t msg_seq = 0;
+
+  /// Mixes one handled event into order_hash.
+  void fold(std::uint64_t kind, std::uint64_t payload) {
+    constexpr std::uint64_t kPrime = 1099511628211ULL;
+    order_hash = (order_hash ^ kind) * kPrime;
+    order_hash = (order_hash ^ payload) * kPrime;
+  }
+
+  /// True when `peer` is in the contact list (k is tiny; linear scan).
+  [[nodiscard]] bool knows(std::uint32_t peer) const {
+    for (const std::uint32_t c : contacts) {
+      if (c == peer) return true;
+    }
+    return false;
+  }
+
+  /// Removes `peer` from the contacts, preserving order (determinism: the
+  /// contact list's order feeds future RNG-indexed picks).
+  void forget(std::uint32_t peer) {
+    for (std::size_t i = 0; i < contacts.size(); ++i) {
+      if (contacts[i] == peer) {
+        contacts.erase(contacts.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace dpjit::grid

@@ -1,0 +1,83 @@
+// Shard determinism at the scenario level: a sharded scenario must reproduce
+// its committed golden digest at EVERY shard count, and asking a classic
+// (non-shardable) scenario to shard must be results-neutral. This is the
+// in-tree twin of the shard-determinism CI job, which diffs
+// `scenario_runner --digest --shards=N` output against golden_digests.json.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace dpjit::exp {
+namespace {
+
+const std::map<std::string, std::uint64_t>& golden_digests() {
+  static const std::map<std::string, std::uint64_t> golden = [] {
+    std::ifstream in(DPJIT_SCENARIO_GOLDEN_FILE);
+    if (!in) throw std::runtime_error("cannot open " DPJIT_SCENARIO_GOLDEN_FILE);
+    return parse_digest_document(in);
+  }();
+  return golden;
+}
+
+TEST(ShardDeterminism, RegistryHasShardedScenarios) {
+  int sharded = 0;
+  for (const auto& s : scenario_registry().all()) {
+    if (s.sharded) ++sharded;
+  }
+  EXPECT_GE(sharded, 3) << "the scale/* family should be registered";
+}
+
+class ShardedScenario : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ShardedScenario, GoldenDigestAtEveryShardCount) {
+  const auto& scenario = scenario_registry().at(GetParam());
+  ASSERT_TRUE(scenario.sharded);
+  const auto it = golden_digests().find(scenario.name);
+  ASSERT_NE(it, golden_digests().end()) << "no golden digest for " << scenario.name;
+  for (const int shards : {1, 2, 4}) {
+    EXPECT_EQ(conformance_digest(scenario, shards), it->second)
+        << scenario.name << " diverged from its golden at shards=" << shards
+        << ": the sharded engine is no longer byte-identical to serial.";
+  }
+}
+
+std::vector<std::string> sharded_scenario_names() {
+  std::vector<std::string> names;
+  for (const auto& s : scenario_registry().all()) {
+    if (s.sharded) names.push_back(s.name);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ShardedScenario, ::testing::ValuesIn(sharded_scenario_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '/' || c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ShardDeterminism, ShardCountIsNeutralForClassicScenarios) {
+  // The classic GridSystem path cannot shard conservatively (zero lookahead
+  // under fluid fair sharing), so a shard request must be ignored, not
+  // half-applied. One representative per family keeps this fast.
+  for (const std::string name :
+       {"paper/static-n200", "contention/fair-static", "churn/correlated-waves"}) {
+    const Scenario* scenario = scenario_registry().find(name);
+    ASSERT_NE(scenario, nullptr) << name;
+    ASSERT_FALSE(scenario->sharded) << name;
+    const auto it = golden_digests().find(name);
+    ASSERT_NE(it, golden_digests().end()) << name;
+    EXPECT_EQ(conformance_digest(*scenario, 4), it->second)
+        << name << ": --shards must not change classic-scenario results";
+  }
+}
+
+}  // namespace
+}  // namespace dpjit::exp

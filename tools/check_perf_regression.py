@@ -58,11 +58,15 @@ def main() -> None:
     base_nc = "next_completion"
     if current.get("quick") and "quick_next_completion" in baseline:
         base_nc = "quick_next_completion"
+    base_se = "shard_engine"
+    if current.get("quick") and "quick_shard_engine" in baseline:
+        base_se = "quick_shard_engine"
     watched = [
         ("event_queue", base_eq, "schedule_pop_speedup"),
         ("event_queue", base_eq, "schedule_cancel_pop_speedup"),
         ("transfer", base_tr, "fair_sharing_speedup"),
         ("next_completion", base_nc, "arming_speedup"),
+        ("shard_engine", base_se, "sharded_speedup"),
     ]
     info = [
         ("event_queue", "current_schedule_pop_mops"),
@@ -72,6 +76,9 @@ def main() -> None:
         ("next_completion", "index_completions_per_s"),
         ("end_to_end", "events_per_s"),
         ("routing", "build_ms"),
+        ("shard_engine", "serial_events_per_s"),
+        ("shard_engine", "sharded_s"),
+        ("shard_engine", "parallel_windows"),
     ]
     for section, key in info:
         print(f"info: {section}.{key} = {current.get(section, {}).get(key)}")

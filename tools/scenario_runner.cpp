@@ -13,12 +13,21 @@
 //
 // Run overrides: --nodes, --workflows, --seed, --hours, --algorithm,
 // --small (applies the conformance preset before running).
+//
+// `--shards=N` selects the PDES shard count for sharded (scale/*) scenarios;
+// results and digests are byte-identical at every count, which the
+// shard-determinism CI job verifies by diffing `--digest --shards=N` output
+// against the goldens for several N. Classic scenarios ignore the flag and
+// always run the serial engine (see exp::Scenario::sharded). `--threads`
+// caps the worker threads driving parallel windows (also results-neutral).
+#include <cmath>
 #include <iostream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "exp/reporters.hpp"
+#include "exp/scale_model.hpp"
 #include "exp/scenario.hpp"
 #include "util/config.hpp"
 #include "util/json.hpp"
@@ -42,18 +51,20 @@ int list_scenarios(bool as_json) {
       std::cout << " \"algorithm\": \"" << util::json_escape(cfg.algorithm) << "\",";
       std::cout << " \"nodes\": " << cfg.nodes << ",";
       std::cout << " \"conformance_nodes\": " << exp::conformance_nodes(cfg.nodes) << ",";
+      std::cout << " \"sharded\": " << (s.sharded ? "true" : "false") << ",";
       std::cout << " \"description\": \"" << util::json_escape(s.description) << "\"}";
       std::cout << (i + 1 < all.size() ? "," : "") << "\n";
     }
     std::cout << "]\n";
     return 0;
   }
-  util::TablePrinter table({"scenario", "tier", "paper", "algorithm", "nodes", "description"});
+  util::TablePrinter table(
+      {"scenario", "tier", "paper", "algorithm", "nodes", "engine", "description"});
   for (const auto& s : reg.all()) {
     const auto cfg = s.config();
     table.add_row({s.name, std::string(exp::to_string(s.tier)),
                    s.paper_section.empty() ? "-" : s.paper_section, cfg.algorithm,
-                   std::to_string(cfg.nodes), s.description});
+                   std::to_string(cfg.nodes), s.sharded ? "sharded" : "serial", s.description});
   }
   table.print(std::cout);
   std::cout << "\n"
@@ -99,6 +110,7 @@ int describe_scenario(const std::string& name, bool as_json) {
     std::cout << cfg.workflow.max_data_mb << "],\n";
     std::cout << "  \"arrival_process\": \"" << arrivals << "\",\n";
     std::cout << "  \"workload_mix_entries\": " << cfg.workload_mix.size() << ",\n";
+    std::cout << "  \"sharded\": " << (s->sharded ? "true" : "false") << ",\n";
     std::cout << "  \"conformance_nodes\": " << conf_nodes << "\n";
     std::cout << "}\n";
     return 0;
@@ -122,25 +134,92 @@ int describe_scenario(const std::string& name, bool as_json) {
   std::cout << "arrival process:   " << arrivals << "\n";
   std::cout << "workload mix:      " << (cfg.workload_mix.empty() ? "random-only" : "mixed");
   std::cout << "\n";
+  std::cout << "engine:            " << (s->sharded ? "sharded (scale model; accepts --shards)"
+                                                    : "serial")
+            << "\n";
   std::cout << "conformance nodes: " << conf_nodes;
   std::cout << " (digest pinned in tests/scenario/golden_digests.json)\n";
   return 0;
 }
 
-int emit_digests(const std::string& only) {
+int emit_digests(const std::string& only, int shards) {
   const auto& reg = exp::scenario_registry();
   std::vector<std::pair<std::string, std::uint64_t>> digests;
   for (const auto& s : reg.all()) {
     if (!only.empty() && s.name != only) continue;
     const int n = exp::conformance_nodes(s.config().nodes);
-    std::cerr << "digesting " << s.name << " (n=" << n << ")...\n";
-    digests.emplace_back(s.name, exp::conformance_digest(s));
+    std::cerr << "digesting " << s.name << " (n=" << n;
+    if (s.sharded && shards > 1) std::cerr << ", shards=" << shards;
+    std::cerr << ")...\n";
+    digests.emplace_back(s.name, exp::conformance_digest(s, shards));
   }
   if (!only.empty() && digests.empty()) {
     std::cerr << "scenario_runner: unknown scenario '" << only << "' (try --list)\n";
     return 1;
   }
   exp::write_digest_document(std::cout, digests);
+  return 0;
+}
+
+/// Runs a scale/* scenario on the sharded engine and reports the aggregate
+/// counters plus the shard-invariant scale digest.
+int run_scale_scenario(const util::Config& cli, const exp::Scenario& scenario,
+                       const exp::ExperimentConfig& cfg, bool as_json) {
+  exp::ScaleParams params = exp::scale_params_from_config(cfg);
+  params.shards = static_cast<int>(cli.get_int("shards", params.shards));
+  params.threads = static_cast<int>(cli.get_int("threads", params.threads));
+
+  std::cerr << "=== " << scenario.name << " ===\n"
+            << scenario.description << "\n"
+            << "peers=" << params.peers << " shards=" << params.shards
+            << " horizon=" << params.horizon_s / 3600.0 << "h seed=" << params.seed << "\n\n";
+
+  const exp::ScaleResult r = exp::run_scale_model(params);
+  const std::uint64_t digest = exp::scale_digest(r);
+
+  if (as_json) {
+    std::cout << "{\n";
+    std::cout << "  \"scenario\": \"" << util::json_escape(scenario.name) << "\",\n";
+    std::cout << "  \"peers\": " << r.peers << ",\n";
+    std::cout << "  \"regions\": " << r.regions << ",\n";
+    std::cout << "  \"shards\": " << r.shards << ",\n";
+    std::cout << "  \"window_s\": " << r.window_s << ",\n";
+    // +inf at shards=1; JSON has no inf literal, so emit null there.
+    if (std::isfinite(r.lookahead_s)) {
+      std::cout << "  \"lookahead_s\": " << r.lookahead_s << ",\n";
+    } else {
+      std::cout << "  \"lookahead_s\": null,\n";
+    }
+    std::cout << "  \"events_processed\": " << r.events_processed << ",\n";
+    std::cout << "  \"windows\": " << r.windows << ",\n";
+    std::cout << "  \"parallel_windows\": " << r.parallel_windows << ",\n";
+    std::cout << "  \"tasks_completed\": " << r.tasks_completed << ",\n";
+    std::cout << "  \"transfers_completed\": " << r.transfers_completed << ",\n";
+    std::cout << "  \"mb_transferred\": " << r.mb_transferred << ",\n";
+    std::cout << "  \"gossip_sent\": " << r.gossip_sent << ",\n";
+    std::cout << "  \"gossip_merged\": " << r.gossip_merged << ",\n";
+    std::cout << "  \"churn_departures\": " << r.churn_departures << ",\n";
+    std::cout << "  \"churn_rejoins\": " << r.churn_rejoins << ",\n";
+    std::cout << "  \"dropped_messages\": " << r.dropped_messages << ",\n";
+    std::cout << "  \"wall_s\": " << r.wall_s << ",\n";
+    std::cout << "  \"scale_digest\": \"" << digest << "\"\n";
+    std::cout << "}\n";
+    std::cerr << "scale_digest: " << digest << "\n";
+    return 0;
+  }
+  std::cout << "peers:               " << r.peers << " (" << r.regions << " regions, " << r.shards
+            << " shards)\n";
+  std::cout << "window / lookahead:  " << r.window_s << " s / " << r.lookahead_s << " s\n";
+  std::cout << "events:              " << r.events_processed << " in " << r.windows << " windows ("
+            << r.parallel_windows << " parallel)\n";
+  std::cout << "tasks completed:     " << r.tasks_completed << "\n";
+  std::cout << "transfers completed: " << r.transfers_completed << " (" << r.mb_transferred
+            << " MB)\n";
+  std::cout << "gossip sent/merged:  " << r.gossip_sent << " / " << r.gossip_merged << "\n";
+  std::cout << "churn out/back:      " << r.churn_departures << " / " << r.churn_rejoins << "\n";
+  std::cout << "dropped messages:    " << r.dropped_messages << "\n";
+  std::cout << "wall clock:          " << r.wall_s << " s\n";
+  std::cout << "scale_digest: " << digest << "\n";
   return 0;
 }
 
@@ -159,6 +238,8 @@ int run_scenario(const util::Config& cli, const std::string& name, bool as_json)
       static_cast<int>(cli.get_int("workflows", cfg.workflows_per_node));
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
   cfg.system.horizon_s = cli.get_double("hours", cfg.system.horizon_s / 3600.0) * 3600.0;
+
+  if (scenario->sharded) return run_scale_scenario(cli, *scenario, cfg, as_json);
 
   std::cerr << "=== " << scenario->name << " ===\n"
             << scenario->description << "\n"
@@ -190,7 +271,9 @@ int main(int argc, char** argv) {
   std::string name = cli.get_string("run", "");
   if (name.empty() && !cli.positional().empty()) name = cli.positional().front();
 
-  if (cli.get_bool("digest", false)) return emit_digests(name);
+  if (cli.get_bool("digest", false)) {
+    return emit_digests(name, static_cast<int>(cli.get_int("shards", 1)));
+  }
   // Accept both --describe=NAME and `--describe NAME` (positional).
   std::string describe = cli.get_string("describe", "");
   if (describe.empty() && cli.get_bool("describe", false) && !name.empty()) describe = name;
