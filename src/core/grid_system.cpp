@@ -73,7 +73,15 @@ class SystemDispatchContext final : public DispatchContext {
     resources_.push_back(gossip::ResourceEntry{home, self.total_load_mi(sys_.engine_.now()),
                                                self.capacity_mips(), sys_.engine_.now(),
                                                0});
-    for (const auto& e : view.entries()) resources_.push_back(e);
+    // Message-level gossip: never offer work to a peer this home believes
+    // dead. (The view forgets declared-dead peers at the cycle sweep, so this
+    // only filters beliefs formed since; the suspect state is NOT filtered -
+    // suspects may well be alive, and the re-offer pass handles the fallout.)
+    const auto* detector = sys_.gossip_->detector();
+    for (const auto& e : view.entries()) {
+      if (detector != nullptr && detector->believes_dead(home, e.node)) continue;
+      resources_.push_back(e);
+    }
 
     // Pending workflows with schedule points, RPM and ms under the home's
     // believed averages (Algorithm 1 lines 2-7).
@@ -189,7 +197,7 @@ class SystemDispatchContext final : public DispatchContext {
 GridSystem::GridSystem(sim::Engine& engine, const net::Topology& topo,
                        const net::Routing& routing, const net::LandmarkEstimator& landmarks,
                        std::vector<double> capacities, Algorithm algorithm, SystemConfig config,
-                       MetricsSink* sink)
+                       MetricsSink* sink, sim::FaultPlan* faults)
     : engine_(engine),
       topo_(topo),
       routing_(routing),
@@ -197,6 +205,7 @@ GridSystem::GridSystem(sim::Engine& engine, const net::Topology& topo,
       algorithm_(std::move(algorithm)),
       config_(config),
       sink_(sink),
+      faults_(faults),
       rng_(config.seed) {
   const int n = topo.node_count();
   if (static_cast<int>(capacities.size()) != n) {
@@ -226,12 +235,15 @@ GridSystem::GridSystem(sim::Engine& engine, const net::Topology& topo,
       },
       [this](NodeId id) { return nodes_[static_cast<std::size_t>(id.get())].alive(); },
       [this](NodeId a, NodeId b) { return routing_.latency_s(a, b); },
-      [this](NodeId id) { return landmarks_.local_mean_mbps(id); }, rng_gossip);
+      [this](NodeId id) { return landmarks_.local_mean_mbps(id); }, rng_gossip, faults_);
 
+  // Path tracking only matters when link faults can happen; without a plan it
+  // is pure overhead (and the seed behavior must stay untouched).
   transfers_ = std::make_unique<grid::TransferManager>(
       engine_, topo_, routing_,
       config_.fair_sharing ? grid::TransferManager::Mode::kFairSharing
-                           : grid::TransferManager::Mode::kBottleneck);
+                           : grid::TransferManager::Mode::kBottleneck,
+      /*track_paths=*/faults_ != nullptr);
 
   churn_ = std::make_unique<grid::ChurnModel>(
       engine_, config_.churn, n, rng_.fork("churn"),
@@ -310,6 +322,9 @@ void GridSystem::run() {
 // ---------------------------------------------------------------------------
 
 void GridSystem::run_scheduling_cycle() {
+  // Re-offer before anything else: pulled-back tasks become schedule points
+  // and are re-dispatched by the very same cycle.
+  reoffer_suspect_tasks();
   if (config_.reschedule_failed) recover_failed_tasks();
   if (algorithm_.full_ahead()) {
     // Late submissions (and churn-rescheduled tasks) still go through the
@@ -325,6 +340,56 @@ void GridSystem::run_scheduling_cycle() {
     }
   }
   sample_cycle();
+}
+
+void GridSystem::reoffer_suspect_tasks() {
+  const auto* detector = gossip_->detector();
+  if (detector == nullptr) return;  // idealized gossip: membership is exact
+  for (auto& wf : workflows_) {
+    if (wf.done()) continue;
+    if (!nodes_[static_cast<std::size_t>(wf.home.get())].alive()) continue;
+    for (std::size_t t = 0; t < wf.tasks.size(); ++t) {
+      auto& rt = wf.tasks[t];
+      if (rt.state != TaskState::kDispatched && rt.state != TaskState::kRunning) continue;
+      if (!rt.exec_node.valid() || rt.exec_node == wf.home) continue;
+      if (!detector->believes_dead(wf.home, rt.exec_node)) continue;
+
+      const TaskRef ref{wf.id, TaskIndex{static_cast<TaskIndex::underlying_type>(t)}};
+      const TaskState old_state = rt.state;
+      const NodeId exec = rt.exec_node;
+      // Reset FIRST: the transfer aborts below fire their callbacks
+      // synchronously, and those must see the task as already reclaimed
+      // (the same ordering fail_task relies on).
+      rt.state = TaskState::kSchedulable;
+      rt.exec_node = NodeId{};
+      rt.dispatched_at = kNoTime;
+      rt.started_at = kNoTime;
+      ++tasks_reoffered_;
+      trace_.record(engine_.now(), sim::TraceKind::kReoffer, exec, ref, "executor suspected dead");
+
+      // Cancel the work at the old executor. The suspicion may be FALSE - the
+      // node can be alive and even running the task; the home's decision wins
+      // (the duplicate-completion hazard is closed by the stale guards on
+      // completion notifications and dispatch deliveries).
+      auto& node = nodes_[static_cast<std::size_t>(exec.get())];
+      if (node.alive()) {
+        if (old_state == TaskState::kRunning) {
+          if (node.running() != nullptr && node.running()->ref == ref) {
+            node.abort_running();
+            engine_.cancel(running_event_[static_cast<std::size_t>(exec.get())]);
+            try_start_task(exec);  // the freed CPU can take other ready work
+          }
+        } else {
+          node.remove_ready(ref);
+        }
+      }
+      if (auto it = task_transfers_.find(ref); it != task_transfers_.end()) {
+        const auto ids = it->second;
+        task_transfers_.erase(it);
+        for (auto tid : ids) transfers_->abort(tid);
+      }
+    }
+  }
 }
 
 void GridSystem::schedule_home(NodeId home) {
@@ -479,15 +544,48 @@ void GridSystem::deliver_dispatch(TaskRef ref, NodeId target, grid::ReadyTask re
   (void)ids;
 }
 
-void GridSystem::start_input_transfer(TaskRef ref, NodeId target, NodeId source, double mb) {
+void GridSystem::start_input_transfer(TaskRef ref, NodeId target, NodeId source, double mb,
+                                      int attempt) {
   const NodeId home = workflows_[static_cast<std::size_t>(ref.workflow.get())].home;
   trace_.record(engine_.now(), sim::TraceKind::kTransferStart, source, ref);
   const auto tid = transfers_->start(
-      source, target, mb, [this, ref, target, source, mb, home](bool success) {
+      source, target, mb, [this, ref, target, source, mb, home, attempt](bool success) {
         auto& wf2 = workflows_[static_cast<std::size_t>(ref.workflow.get())];
         auto& rt2 = wf2.tasks[static_cast<std::size_t>(ref.task.get())];
         if (rt2.state != TaskState::kDispatched || rt2.exec_node != target) return;
         if (!success) {
+          // Both endpoints alive means the path failed under the transfer (a
+          // link went down): back off exponentially and retry - routing has
+          // already been repaired around the failed link by the fault wiring.
+          const auto& retry = config_.transfer_retry;
+          if (retry.max_attempts > 0 && attempt < retry.max_attempts &&
+              nodes_[static_cast<std::size_t>(source.get())].alive() &&
+              nodes_[static_cast<std::size_t>(target.get())].alive()) {
+            const double delay = std::min(retry.backoff_cap_s,
+                                          retry.backoff_base_s * std::pow(2.0, attempt));
+            const SimTime stamp = rt2.dispatched_at;
+            engine_.schedule_in(delay, [this, ref, target, source, mb, home, attempt, stamp] {
+              const auto& rt3 = workflows_[static_cast<std::size_t>(ref.workflow.get())]
+                                    .tasks[static_cast<std::size_t>(ref.task.get())];
+              // The task may have failed / been re-offered during the backoff.
+              if (rt3.state != TaskState::kDispatched || rt3.exec_node != target ||
+                  rt3.dispatched_at != stamp) {
+                return;
+              }
+              if (!nodes_[static_cast<std::size_t>(source.get())].alive()) {
+                // The source died while we were backing off: fall back to the
+                // home copy (result collection) or give up.
+                if (config_.home_keeps_outputs && source != home) {
+                  start_input_transfer(ref, target, home, mb);
+                } else {
+                  fail_task(ref, "input transfer aborted");
+                }
+                return;
+              }
+              start_input_transfer(ref, target, source, mb, attempt + 1);
+            });
+            return;
+          }
           // The source died mid-transfer. With result collection the data is
           // still available at the (stable) home node: restart from there.
           if (config_.home_keeps_outputs && source != home &&
@@ -544,6 +642,14 @@ void GridSystem::on_task_complete(NodeId id) {
 
   auto& wf = workflows_[static_cast<std::size_t>(ref.workflow.get())];
   auto& rt = wf.tasks[static_cast<std::size_t>(ref.task.get())];
+  // Orphaned completion: the task was reclaimed (re-offer) or failed while
+  // this event was in flight. Every reclaim path cancels the running event,
+  // so this cannot fire in practice - but if it ever did, crediting the
+  // completion would corrupt workflow progress. Just free the CPU.
+  if (rt.state != TaskState::kRunning || rt.exec_node != id) {
+    try_start_task(id);
+    return;
+  }
   rt.state = TaskState::kFinished;
   rt.finished_at = engine_.now();
   ++wf.finished_tasks;
@@ -635,11 +741,25 @@ void GridSystem::handle_leave(NodeId id) {
   node.set_alive(false);
   trace_.record(engine_.now(), sim::TraceKind::kNodeLeave, id);
 
-  // Kill the running task first so fail_task sees a detached CPU.
+  // Kill the running task first so fail_task sees a detached CPU. The
+  // exec_node guards skip tasks already reclaimed by the re-offer pass (their
+  // failure now belongs to whichever node they were re-dispatched to).
   engine_.cancel(running_event_[static_cast<std::size_t>(id.get())]);
-  if (auto running = node.abort_running()) fail_task(running->ref, "node departed (running)");
+  if (auto running = node.abort_running()) {
+    const auto& rt = workflows_[static_cast<std::size_t>(running->ref.workflow.get())]
+                         .tasks[static_cast<std::size_t>(running->ref.task.get())];
+    if (rt.state == TaskState::kRunning && rt.exec_node == id) {
+      fail_task(running->ref, "node departed (running)");
+    }
+  }
 
-  for (const auto& ready : node.drain_ready()) fail_task(ready.ref, "node departed (ready set)");
+  for (const auto& ready : node.drain_ready()) {
+    const auto& rt = workflows_[static_cast<std::size_t>(ready.ref.workflow.get())]
+                         .tasks[static_cast<std::size_t>(ready.ref.task.get())];
+    if (rt.state == TaskState::kDispatched && rt.exec_node == id) {
+      fail_task(ready.ref, "node departed (ready set)");
+    }
+  }
 
   // Abort remaining transfers that used this node as a data *source*; their
   // callbacks fail the dependent tasks on other nodes.
@@ -659,6 +779,12 @@ void GridSystem::inject_node_rejoin(NodeId id) {
     throw std::out_of_range("inject_node_rejoin: invalid node");
   }
   handle_join(id);
+}
+
+void GridSystem::on_link_state(LinkId l, bool up) {
+  trace_.record(engine_.now(), up ? sim::TraceKind::kLinkUp : sim::TraceKind::kLinkDown,
+                NodeId{});
+  transfers_->link_state_changed(l, up);
 }
 
 void GridSystem::handle_join(NodeId id) {

@@ -112,6 +112,19 @@ struct WorkflowInstance {
   [[nodiscard]] bool done() const { return finished_at != kNoTime; }
 };
 
+/// Retry policy for input transfers that abort with both endpoints alive
+/// (typically a link failure mid-transfer). max_attempts == 0 disables
+/// retries entirely - the seed behavior, and deliberately the default:
+/// fair-sharing's zero-rate stall guard also aborts transfers with live
+/// endpoints, and retrying those would alter the contention scenarios.
+struct TransferRetryPolicy {
+  /// Max retry attempts per input transfer; 0 = fail immediately (seed).
+  int max_attempts = 0;
+  /// Exponential backoff: attempt k waits min(cap, base * 2^k) seconds.
+  double backoff_base_s = 30.0;
+  double backoff_cap_s = 1800.0;
+};
+
 /// System-level knobs (workload knobs live in exp::WorkloadFactory).
 struct SystemConfig {
   /// Scheduler activation period (paper: 15 minutes).
@@ -137,16 +150,22 @@ struct SystemConfig {
   bool home_keeps_outputs = true;
   /// Contacts handed to a (re)joining node, emulating a bootstrap server.
   int bootstrap_contacts = 4;
+  /// Retry/backoff hardening for link-failure transfer aborts.
+  TransferRetryPolicy transfer_retry;
   std::uint64_t seed = 1;
 };
 
 class GridSystem {
  public:
   /// `capacities[i]` is node i's MIPS rating (paper: {1,2,4,8,16}).
-  /// `sink` may be null. All references must outlive the system.
+  /// `sink` may be null. `faults` (may be null) is the fault plan whose
+  /// message fates the gossip layer draws from; attaching one also turns on
+  /// transfer path tracking so link failures can abort in-flight transfers.
+  /// All references must outlive the system.
   GridSystem(sim::Engine& engine, const net::Topology& topo, const net::Routing& routing,
              const net::LandmarkEstimator& landmarks, std::vector<double> capacities,
-             Algorithm algorithm, SystemConfig config, MetricsSink* sink = nullptr);
+             Algorithm algorithm, SystemConfig config, MetricsSink* sink = nullptr,
+             sim::FaultPlan* faults = nullptr);
   ~GridSystem();
 
   GridSystem(const GridSystem&) = delete;
@@ -195,6 +214,14 @@ class GridSystem {
   /// Fault injection: re-joins a previously disconnected node (fresh state).
   void inject_node_rejoin(NodeId n);
 
+  /// A topology link changed state. The caller (exp::World's fault wiring)
+  /// updates net::Routing FIRST, then calls this so aborted transfers retry
+  /// on the repaired routes. Forwards to TransferManager::link_state_changed.
+  void on_link_state(LinkId l, bool up);
+
+  /// Tasks pulled back from suspected-dead executors (message-level gossip).
+  [[nodiscard]] std::uint64_t tasks_reoffered() const { return tasks_reoffered_; }
+
  private:
   friend class SystemDispatchContext;
 
@@ -212,8 +239,14 @@ class GridSystem {
                      double makespan, double slack, double sufferage);
   void deliver_dispatch(TaskRef ref, NodeId target, grid::ReadyTask ready);
   /// Starts (or, after a source failure, restarts from home) one input
-  /// transfer for a dispatched task.
-  void start_input_transfer(TaskRef ref, NodeId target, NodeId source, double mb);
+  /// transfer for a dispatched task. `attempt` counts link-failure retries of
+  /// this particular (source, mb) input; see SystemConfig::transfer_retry.
+  void start_input_transfer(TaskRef ref, NodeId target, NodeId source, double mb,
+                            int attempt = 0);
+  /// Message-level gossip only: pulls dispatched/running tasks back to the
+  /// schedule-point set when the home's failure detector declared their
+  /// executor dead (dispatch re-offer; runs each scheduling cycle).
+  void reoffer_suspect_tasks();
   void try_start_task(NodeId node);
   void on_task_complete(NodeId node);
   void on_task_finished_at_home(TaskRef ref, SimTime finished_at);
@@ -245,6 +278,7 @@ class GridSystem {
   Algorithm algorithm_;
   SystemConfig config_;
   MetricsSink* sink_;
+  sim::FaultPlan* faults_;
   util::Rng rng_;
 
   std::vector<grid::GridNode> nodes_;
@@ -274,6 +308,7 @@ class GridSystem {
   std::uint64_t tasks_dispatched_ = 0;
   std::uint64_t tasks_failed_ = 0;
   std::uint64_t tasks_rescheduled_ = 0;
+  std::uint64_t tasks_reoffered_ = 0;
   bool started_ = false;
 };
 

@@ -208,6 +208,63 @@ ScenarioRegistry build_registry() {
            }),
            /*sharded=*/true});
 
+  // --- realism: deterministic fault injection (ROADMAP item 5) -------------
+  // The idealized counterparts of these runs deliver every gossip exchange
+  // atomically and give every node oracular membership. Here the gossip runs
+  // message-by-message (SYNC/ACK1/ACK2) against a seeded sim::FaultPlan, and
+  // membership is SWIM-style suspicion. Idealized-vs-realistic deltas are
+  // recorded in docs/EXPERIMENTS.md.
+  reg.add({"realism/lossy-gossip",
+           "message-level gossip under a lossy network: 10% loss, 5% duplication, 20% of "
+           "messages delayed up to 60 s; SWIM suspicion replaces oracular membership",
+           "", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.system.gossip.message_level = true;
+             c.faults.msg_loss_p = 0.10;
+             c.faults.msg_dup_p = 0.05;
+             c.faults.msg_delay_p = 0.20;
+             c.faults.msg_delay_max_s = 60.0;
+           })});
+  reg.add({"realism/link-waves",
+           "link failure/recovery waves on the idealized gossip: every hour 5% of up links "
+           "fail (10% permanently, rest recover after 15 min); routing repairs "
+           "incrementally, severed transfers retry with exponential backoff",
+           "", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.faults.link_wave_period_s = 3600.0;
+             c.faults.link_first_wave_s = 1800.0;
+             c.faults.link_fail_fraction = 0.05;
+             c.faults.link_downtime_s = 900.0;
+             c.faults.link_permanent_p = 0.10;
+             c.system.transfer_retry.max_attempts = 5;
+             c.system.transfer_retry.backoff_base_s = 30.0;
+           })});
+  reg.add({"realism/suspicion-churn",
+           "SWIM suspicion under churn (dynamic factor 0.2) on a 10%-lossy network: false "
+           "suspicions pull dispatched tasks back (re-offer), true deaths are detected "
+           "without the oracle",
+           "", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.dynamic_factor = 0.2;
+             c.system.gossip.message_level = true;
+             c.faults.msg_loss_p = 0.10;
+           })});
+  reg.add({"realism/crash-recovery",
+           "node crash/restart waves on message-level gossip: every hour 10% of eligible "
+           "nodes crash and restart after 20 min; the stable half (homes) is exempt, "
+           "severed transfers retry with backoff",
+           "", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.dynamic_factor = 0.1;
+             c.system.gossip.message_level = true;
+             c.faults.crash_period_s = 3600.0;
+             c.faults.crash_first_s = 1800.0;
+             c.faults.crash_fraction = 0.10;
+             c.faults.crash_restart_s = 1200.0;
+             c.faults.crash_exempt_fraction = 0.5;
+             c.system.transfer_retry.max_attempts = 4;
+           })});
+
   reg.add({"mixed/multi-template",
            "mixed structured workload: random DAGs plus Montage, fork-join, pipeline and "
            "diamond templates drawn from a weighted mix",

@@ -108,10 +108,38 @@ World::World(const ExperimentConfig& config)
     capacities.push_back(cap_rng.pick(config_.capacity_choices));
   }
 
+  // The fault plan is created before the system (the gossip layer keeps a
+  // pointer for per-message fate draws) and wired to it afterwards. Its RNG
+  // is a private fork: attaching an all-zero plan (force_attach) perturbs no
+  // other stream and schedules no events, so results are byte-identical to
+  // running without one - the neutrality the differential test checks.
+  if (config.faults.enabled()) {
+    faults_ = std::make_unique<sim::FaultPlan>(engine_, config.faults, config.nodes,
+                                               static_cast<int>(topo_.link_count()),
+                                               rng_.fork("faults"));
+  }
+
   system_ = std::make_unique<core::GridSystem>(engine_, topo_, routing_, landmarks_,
                                                std::move(capacities),
                                                core::make_algorithm(config.algorithm),
-                                               build_system_config(config), &metrics_);
+                                               build_system_config(config), &metrics_,
+                                               faults_.get());
+
+  if (faults_) {
+    // Routing repairs FIRST, then the system's transfer aborts, so retried
+    // transfers immediately route around the failed link.
+    faults_->set_link_handlers(
+        [this](LinkId l) {
+          routing_.set_link_state(l, false);
+          system_->on_link_state(l, false);
+        },
+        [this](LinkId l) {
+          routing_.set_link_state(l, true);
+          system_->on_link_state(l, true);
+        });
+    faults_->set_node_handlers([this](NodeId n) { system_->inject_node_failure(n); },
+                               [this](NodeId n) { system_->inject_node_rejoin(n); });
+  }
 }
 
 int World::home_count() const {
@@ -158,6 +186,7 @@ void World::submit_workload() {
 
 void World::run() {
   submit_workload();
+  if (faults_) faults_->start();
   system_->run();
 }
 

@@ -10,6 +10,7 @@
 #include "dag/generator.hpp"
 #include "exp/metrics.hpp"
 #include "net/landmark.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace dpjit::exp {
 
@@ -81,6 +82,11 @@ struct ExperimentConfig {
   /// run_sweep forces 1 for its workers so concurrent experiments do not
   /// nest full-width pools. Never affects results (bit-identical build).
   int routing_threads = 0;
+  /// Deterministic fault injection (realism scenarios): message loss and
+  /// delay for the message-level gossip mode, link failure/recovery waves
+  /// (with routing repair + transfer aborts), node crash/restart waves.
+  /// All-zero defaults attach nothing; see sim::FaultParams.
+  sim::FaultParams faults;
   std::uint64_t seed = 1;
 
   /// Applies the CCR presets of Figs. 9-10: load and data ranges.
@@ -111,6 +117,8 @@ class World {
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
   [[nodiscard]] const net::Topology& topology() const { return topo_; }
   [[nodiscard]] const net::Routing& routing() const { return routing_; }
+  /// The attached fault plan; null when config.faults is all-zero.
+  [[nodiscard]] const sim::FaultPlan* fault_plan() const { return faults_.get(); }
   /// Number of home nodes receiving workflows (all nodes, or the stable half
   /// under churn).
   [[nodiscard]] int home_count() const;
@@ -125,6 +133,9 @@ class World {
   net::Routing routing_;
   net::LandmarkEstimator landmarks_;
   MetricsCollector metrics_;
+  /// Destroyed after system_ (declared before it): the system's gossip layer
+  /// keeps a raw pointer to the plan for per-message fate draws.
+  std::unique_ptr<sim::FaultPlan> faults_;
   std::unique_ptr<core::GridSystem> system_;
   bool submitted_ = false;
 };

@@ -17,7 +17,8 @@ int derive_log2(int n) {
 
 MixedGossipService::MixedGossipService(sim::Engine& engine, GossipParams params, int node_count,
                                        LocalStateFn local_state, AliveFn alive, LatencyFn latency,
-                                       LocalBandwidthFn local_bw, util::Rng rng)
+                                       LocalBandwidthFn local_bw, util::Rng rng,
+                                       sim::FaultPlan* faults)
     : engine_(engine),
       params_(params),
       n_(node_count),
@@ -25,7 +26,8 @@ MixedGossipService::MixedGossipService(sim::Engine& engine, GossipParams params,
       alive_(std::move(alive)),
       latency_(std::move(latency)),
       local_bw_(std::move(local_bw)),
-      rng_(rng) {
+      rng_(rng),
+      faults_(faults) {
   if (node_count < 1) throw std::invalid_argument("MixedGossipService: node_count >= 1");
   if (params_.cycle_s <= 0.0) throw std::invalid_argument("MixedGossipService: cycle_s > 0");
   fanout_ = params_.fanout > 0 ? params_.fanout : derive_log2(n_);
@@ -34,6 +36,15 @@ MixedGossipService::MixedGossipService(sim::Engine& engine, GossipParams params,
                     : std::min(30, static_cast<int>(std::ceil(2.5 * derive_log2(n_))));
   nodes_.resize(static_cast<std::size_t>(n_));
   for (auto& node : nodes_) node.rss.set_capacity(static_cast<std::size_t>(cache_size_));
+  if (params_.message_level) {
+    detector_ = std::make_unique<FailureDetector>(n_);
+    budget_.assign(static_cast<std::size_t>(n_), 0);
+    message_budget_ =
+        params_.round_message_budget > 0 ? params_.round_message_budget : 3 * fanout_ + 4;
+    ack_timeout_ = params_.ack_timeout_s > 0.0 ? params_.ack_timeout_s : 0.5 * params_.cycle_s;
+    suspect_timeout_ =
+        params_.suspect_timeout_s > 0.0 ? params_.suspect_timeout_s : 2.0 * params_.cycle_s;
+  }
 }
 
 void MixedGossipService::start() {
@@ -63,6 +74,10 @@ void MixedGossipService::reseed_aggregation(NodeId n) {
 }
 
 void MixedGossipService::run_cycle(std::uint64_t cycle) {
+  if (params_.message_level) {
+    run_cycle_message(cycle);
+    return;
+  }
   const bool epoch_boundary =
       params_.aggregation_epoch_cycles > 0 &&
       cycle % static_cast<std::uint64_t>(params_.aggregation_epoch_cycles) == 0 && cycle > 0;
@@ -94,7 +109,13 @@ std::vector<NodeId> MixedGossipService::pick_targets(NodeId from, int count) {
   std::vector<NodeId> targets;
   for (NodeId c : candidates) {
     if (static_cast<int>(targets.size()) >= count) break;
-    if (alive_(c)) targets.push_back(c);
+    if (detector_) {
+      // Message mode: membership is the node's own belief, not the oracle -
+      // suspects are still gossiped to (they get a chance to refute).
+      if (!detector_->believes_dead(from, c)) targets.push_back(c);
+    } else if (alive_(c)) {
+      targets.push_back(c);
+    }
   }
   return targets;
 }
@@ -122,19 +143,38 @@ void MixedGossipService::epidemic_push(NodeId from) {
   const std::uint64_t message_bytes = 20 + 20 * message->size();
 
   for (NodeId to : pick_targets(from, fanout_)) {
-    ++messages_sent_;
-    bytes_sent_ += message_bytes;
-    const double delay = std::max(0.0, latency_(from, to));
-    engine_.schedule_in(delay, [this, to, message] {
+    post_message(from, to, message_bytes, [this, to, message] {
       if (!alive_(to)) return;  // died while the message was in flight
-      auto& view = nodes_[static_cast<std::size_t>(to.get())].rss;
-      for (const auto& entry : *message) {
-        if (entry.node == to) continue;  // no self-entries
-        if (!alive_(entry.node)) continue;  // drop state about dead peers
-        view.merge(entry);
-      }
+      for (const auto& entry : *message) merge_entry(to, entry);
     });
   }
+}
+
+void MixedGossipService::post_message(NodeId from, NodeId to, std::uint64_t bytes,
+                                      std::function<void()> deliver) {
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  // Without a plan (or with all message knobs zero) the draw consumes no
+  // randomness and yields the default fate: one copy, no extra delay.
+  const sim::MessageFate fate = faults_ != nullptr ? faults_->draw_message_fate()
+                                                   : sim::MessageFate{};
+  if (fate.lost) return;
+  const double delay = std::max(0.0, latency_(from, to)) + fate.extra_delay_s;
+  for (int c = 0; c < fate.copies; ++c) {
+    engine_.schedule_in(delay, [deliver] { deliver(); });
+  }
+}
+
+void MixedGossipService::merge_entry(NodeId to, const ResourceEntry& entry) {
+  if (entry.node == to) return;  // no self-entries
+  if (detector_) {
+    // SWIM rumor filter: state about a dead-believed peer is accepted only
+    // when the snapshot post-dates the death declaration (rejoin evidence).
+    if (!detector_->indirect_evidence(to, entry.node, entry.stamped_at)) return;
+  } else if (!alive_(entry.node)) {
+    return;  // idealized mode: oracular filter of state about dead peers
+  }
+  nodes_[static_cast<std::size_t>(to.get())].rss.merge(entry);
 }
 
 void MixedGossipService::aggregation_exchange(NodeId from) {
@@ -142,6 +182,25 @@ void MixedGossipService::aggregation_exchange(NodeId from) {
   auto targets = pick_targets(from, 1);
   if (targets.empty()) return;
   const NodeId partner = targets.front();
+  if (detector_) {
+    // Message mode: the request costs budget and a real send, and can be lost
+    // or addressed to a dead-believed-alive partner - then nothing averages.
+    // The exchange itself stays atomic (documented idealization: the payload
+    // is two doubles, and modelling its round trip buys no fidelity).
+    if (!try_consume_budget(from)) return;
+    ++messages_sent_;
+    bytes_sent_ += 20 + 16;
+    const sim::MessageFate fate =
+        faults_ != nullptr ? faults_->draw_message_fate() : sim::MessageFate{};
+    if (fate.lost || !alive_(partner)) return;
+    auto& a = nodes_[static_cast<std::size_t>(from.get())];
+    auto& b = nodes_[static_cast<std::size_t>(partner.get())];
+    const double cap_mid = 0.5 * (a.agg_capacity.current + b.agg_capacity.current);
+    const double bw_mid = 0.5 * (a.agg_bandwidth.current + b.agg_bandwidth.current);
+    a.agg_capacity.current = b.agg_capacity.current = cap_mid;
+    a.agg_bandwidth.current = b.agg_bandwidth.current = bw_mid;
+    return;
+  }
   auto& a = nodes_[static_cast<std::size_t>(from.get())];
   auto& b = nodes_[static_cast<std::size_t>(partner.get())];
   const double cap_mid = 0.5 * (a.agg_capacity.current + b.agg_capacity.current);
@@ -152,11 +211,146 @@ void MixedGossipService::aggregation_exchange(NodeId from) {
   bytes_sent_ += 20 + 16;  // header + two doubles
 }
 
+void MixedGossipService::run_cycle_message(std::uint64_t cycle) {
+  const bool epoch_boundary =
+      params_.aggregation_epoch_cycles > 0 &&
+      cycle % static_cast<std::uint64_t>(params_.aggregation_epoch_cycles) == 0 && cycle > 0;
+  const SimTime now = engine_.now();
+
+  for (int i = 0; i < n_; ++i) {
+    const NodeId me{i};
+    if (!alive_(me)) continue;  // physically down nodes run nothing
+    auto& g = nodes_[static_cast<std::size_t>(i)];
+    if (epoch_boundary) {
+      g.agg_capacity.published = g.agg_capacity.current;
+      g.agg_bandwidth.published = g.agg_bandwidth.current;
+      reseed_aggregation(me);
+    }
+    // SWIM sweep first: expired suspects become dead and leave the view, so
+    // this cycle's digest no longer advertises them.
+    detector_->sweep(me, now, [&g](NodeId dead) { g.rss.forget(dead); });
+    g.rss.expire(now, params_.staleness_bound_s, me);
+    // Budget renews every cycle. All sends below schedule their deliveries
+    // strictly after this cycle event returns, so resetting inside the same
+    // loop is race-free: no reply can be charged before its budget exists.
+    budget_[static_cast<std::size_t>(i)] = message_budget_;
+
+    // Shared SYNC digest: own fresh summary + every cached entry's (node,
+    // stamp). libgossip's SYNC carries exactly this - keys and versions.
+    auto digest = std::make_shared<std::vector<EntrySummary>>();
+    digest->reserve(g.rss.size() + 1);
+    digest->push_back(EntrySummary{me, now});
+    for (const auto& e : g.rss.entries()) digest->push_back(EntrySummary{e.node, e.stamped_at});
+    for (NodeId to : pick_targets(me, fanout_)) start_exchange(me, to, digest);
+    aggregation_exchange(me);
+  }
+}
+
+void MixedGossipService::start_exchange(NodeId from, NodeId to,
+                                        const std::shared_ptr<std::vector<EntrySummary>>& digest) {
+  if (!try_consume_budget(from)) return;
+  const SimTime sent_at = engine_.now();
+  // Ack timeout: if no direct message from `to` lands at `from` before the
+  // timer fires, the initiator starts suspecting `to` (SWIM probe miss).
+  engine_.schedule_in(ack_timeout_, [this, from, to, sent_at] {
+    if (!alive_(from)) return;
+    if (detector_->answered_since(from, to, sent_at)) return;
+    detector_->probe_missed(from, to, engine_.now(), suspect_timeout_);
+  });
+  post_message(from, to, 20 + 12 * digest->size(),
+               [this, from, to, digest] { on_sync(from, to, digest); });
+}
+
+void MixedGossipService::on_sync(NodeId from, NodeId to,
+                                 const std::shared_ptr<std::vector<EntrySummary>>& digest) {
+  if (!alive_(to)) return;  // receiver died while the SYNC was in flight
+  const SimTime now = engine_.now();
+  detector_->direct_evidence(to, from, now);
+  // Budget check before building the reply: an exhausted responder stays
+  // silent and the initiator's ack timeout does the rest.
+  if (!try_consume_budget(to)) return;
+  const auto& g = nodes_[static_cast<std::size_t>(to.get())];
+
+  // Diff the digest against the local view. ACK1 = entries we know fresher
+  // than the initiator (push) + nodes the initiator knows fresher (want).
+  auto push = std::make_shared<std::vector<ResourceEntry>>();
+  auto want = std::make_shared<std::vector<NodeId>>();
+  std::vector<char> in_digest(static_cast<std::size_t>(n_), 0);
+  for (const auto& s : *digest) {
+    in_digest[static_cast<std::size_t>(s.node.get())] = 1;
+    if (s.node == to) continue;  // own state is always freshest locally
+    const ResourceEntry* mine = g.rss.find(s.node);
+    const SimTime my_stamp = mine != nullptr ? mine->stamped_at : -1.0;
+    if (s.stamped_at > my_stamp) {
+      want->push_back(s.node);
+    } else if (s.stamped_at < my_stamp) {
+      if (auto fwd = forwardable_entry(to, s.node)) push->push_back(*fwd);
+    }
+  }
+  // Entries the initiator does not have at all - own state first.
+  if (in_digest[static_cast<std::size_t>(to.get())] == 0) {
+    if (auto own = forwardable_entry(to, to)) push->push_back(*own);
+  }
+  for (const auto& e : g.rss.entries()) {
+    if (e.node == from || in_digest[static_cast<std::size_t>(e.node.get())] != 0) continue;
+    if (auto fwd = forwardable_entry(to, e.node)) push->push_back(*fwd);
+  }
+  post_message(to, from, 20 + 20 * push->size() + 4 * want->size(),
+               [this, to, from, push, want] { on_ack1(to, from, push, want); });
+}
+
+void MixedGossipService::on_ack1(NodeId from, NodeId to,
+                                 const std::shared_ptr<std::vector<ResourceEntry>>& push,
+                                 const std::shared_ptr<std::vector<NodeId>>& want) {
+  // Runs at the initiator (`to`); `from` is the responder that answered.
+  if (!alive_(to)) return;
+  detector_->direct_evidence(to, from, engine_.now());
+  for (const auto& entry : *push) merge_entry(to, entry);
+  // ACK2: the entries the responder asked for.
+  auto reply = std::make_shared<std::vector<ResourceEntry>>();
+  reply->reserve(want->size());
+  for (NodeId w : *want) {
+    if (auto fwd = forwardable_entry(to, w)) reply->push_back(*fwd);
+  }
+  if (reply->empty()) return;  // nothing left to say - no third leg
+  if (!try_consume_budget(to)) return;
+  post_message(to, from, 20 + 20 * reply->size(), [this, to, from, reply] {
+    if (!alive_(from)) return;
+    detector_->direct_evidence(from, to, engine_.now());
+    for (const auto& entry : *reply) merge_entry(from, entry);
+  });
+}
+
+bool MixedGossipService::try_consume_budget(NodeId n) {
+  auto& b = budget_[static_cast<std::size_t>(n.get())];
+  if (b <= 0) {
+    ++messages_suppressed_;
+    return false;
+  }
+  --b;
+  return true;
+}
+
+std::optional<ResourceEntry> MixedGossipService::forwardable_entry(NodeId from, NodeId node) {
+  if (node == from) {
+    double load = 0.0;
+    double cap = 1.0;
+    local_state_(from, load, cap);
+    return ResourceEntry{from, load, cap, engine_.now(), params_.ttl};
+  }
+  const ResourceEntry* e = nodes_[static_cast<std::size_t>(from.get())].rss.find(node);
+  if (e == nullptr || e->ttl <= 0) return std::nullopt;
+  ResourceEntry fwd = *e;
+  fwd.ttl -= 1;
+  return fwd;
+}
+
 void MixedGossipService::node_joined(NodeId n, const std::vector<NodeId>& bootstrap) {
   auto& g = nodes_[static_cast<std::size_t>(n.get())];
   g.rss.clear();
   g.agg_capacity = AggregationState{};
   g.agg_bandwidth = AggregationState{};
+  if (detector_) detector_->reset_observer(n);  // fresh join: no prior grudges
   reseed_aggregation(n);
   for (NodeId contact : bootstrap) {
     if (contact == n || !alive_(contact)) continue;
@@ -172,6 +366,7 @@ void MixedGossipService::node_left(NodeId n) {
   g.rss.clear();
   g.agg_capacity = AggregationState{};
   g.agg_bandwidth = AggregationState{};
+  if (detector_) detector_->reset_observer(n);
 }
 
 const ResourceView& MixedGossipService::rss(NodeId n) const {

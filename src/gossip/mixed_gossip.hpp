@@ -11,10 +11,13 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "gossip/failure_detector.hpp"
 #include "gossip/view.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/periodic.hpp"
 #include "util/rng.hpp"
 
@@ -35,6 +38,23 @@ struct GossipParams {
   double staleness_bound_s = 1800.0;
   /// Aggregation gossip restarts every this many cycles (epoch length).
   int aggregation_epoch_cycles = 12;
+
+  // --- message-level mode (realism; ROADMAP item 5) ------------------------
+  /// Replaces the cycle's shared-message epidemic push with a phased
+  /// SYNC/ACK1/ACK2 push-pull (libgossip's shape): every leg is a real
+  /// message with its own latency and - when a sim::FaultPlan is attached -
+  /// loss/duplication/extra-delay draws. Membership becomes SWIM-style
+  /// suspicion (FailureDetector) instead of the oracular alive() callback.
+  bool message_level = false;
+  /// Max protocol messages a node may SEND per cycle in message mode
+  /// (initiations and replies both count); 0 derives 3 * fanout + 4.
+  int round_message_budget = 0;
+  /// A SYNC unanswered for this long makes the initiator suspect the target;
+  /// 0 derives cycle_s / 2.
+  double ack_timeout_s = 0.0;
+  /// A suspect not refuted within this window is declared dead (and dropped
+  /// from the view) at the next cycle sweep; 0 derives 2 * cycle_s.
+  double suspect_timeout_s = 0.0;
 };
 
 /// System-wide averages produced by the aggregation gossip, as seen by one node.
@@ -61,9 +81,12 @@ class MixedGossipService {
   /// A node's locally observable mean bandwidth (landmark links), Mb/s.
   using LocalBandwidthFn = std::function<double(NodeId)>;
 
+  /// `faults` (optional, may be null) supplies per-message fault draws; it
+  /// must outlive the service. Without a plan every message is delivered
+  /// exactly once after its network latency.
   MixedGossipService(sim::Engine& engine, GossipParams params, int node_count,
                      LocalStateFn local_state, AliveFn alive, LatencyFn latency,
-                     LocalBandwidthFn local_bw, util::Rng rng);
+                     LocalBandwidthFn local_bw, util::Rng rng, sim::FaultPlan* faults = nullptr);
 
   /// Seeds every alive node's aggregation state and starts the periodic cycle.
   void start();
@@ -98,15 +121,48 @@ class MixedGossipService {
   [[nodiscard]] int effective_fanout() const { return fanout_; }
   [[nodiscard]] int effective_cache_size() const { return cache_size_; }
 
+  /// Message-mode observability. detector() is null in the idealized mode.
+  [[nodiscard]] bool message_level() const { return params_.message_level; }
+  [[nodiscard]] const FailureDetector* detector() const { return detector_.get(); }
+  /// Sends skipped because the per-cycle message budget was exhausted.
+  [[nodiscard]] std::uint64_t messages_suppressed() const { return messages_suppressed_; }
+
   /// Runs one epidemic + aggregation cycle immediately (tests drive this
   /// directly; normal operation uses start()).
   void run_cycle(std::uint64_t cycle);
 
  private:
+  /// One wire-format resource summary: (node, snapshot time). 12 bytes.
+  struct EntrySummary {
+    NodeId node;
+    SimTime stamped_at = 0.0;
+  };
+
   void epidemic_push(NodeId from);
   void aggregation_exchange(NodeId from);
   void reseed_aggregation(NodeId n);
   [[nodiscard]] std::vector<NodeId> pick_targets(NodeId from, int count);
+
+  // --- message-level mode ---
+  void run_cycle_message(std::uint64_t cycle);
+  void start_exchange(NodeId from, NodeId to,
+                      const std::shared_ptr<std::vector<EntrySummary>>& digest);
+  void on_sync(NodeId from, NodeId to, const std::shared_ptr<std::vector<EntrySummary>>& digest);
+  void on_ack1(NodeId from, NodeId to, const std::shared_ptr<std::vector<ResourceEntry>>& push,
+               const std::shared_ptr<std::vector<NodeId>>& want);
+  /// Charges one send against `n`'s cycle budget; false (and counted) when
+  /// exhausted - the message is simply never sent, as a real rate limiter
+  /// would do, and the peer's ack timeout handles the fallout.
+  [[nodiscard]] bool try_consume_budget(NodeId n);
+  /// Applies fault fates and schedules delivery copies.
+  void post_message(NodeId from, NodeId to, std::uint64_t bytes, std::function<void()> deliver);
+  /// Detector-aware merge: drops self-entries and stale rumors about
+  /// dead-believed peers; oracular alive() filter only in the idealized mode.
+  void merge_entry(NodeId to, const ResourceEntry& entry);
+  /// The entry `from` forwards about `node` right now (own fresh state when
+  /// node == from, ttl-decremented cache entry otherwise; nullopt when the
+  /// entry is gone or out of forwarding budget).
+  [[nodiscard]] std::optional<ResourceEntry> forwardable_entry(NodeId from, NodeId node);
 
   sim::Engine& engine_;
   GossipParams params_;
@@ -118,10 +174,19 @@ class MixedGossipService {
   LatencyFn latency_;
   LocalBandwidthFn local_bw_;
   util::Rng rng_;
+  sim::FaultPlan* faults_;
   std::vector<NodeGossip> nodes_;
   std::unique_ptr<sim::PeriodicProcess> cycle_process_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+
+  // --- message-level mode state ---
+  std::unique_ptr<FailureDetector> detector_;
+  std::vector<int> budget_;  ///< remaining sends this cycle, per node
+  double ack_timeout_ = 0.0;
+  double suspect_timeout_ = 0.0;
+  int message_budget_ = 0;
+  std::uint64_t messages_suppressed_ = 0;
 };
 
 }  // namespace dpjit::gossip

@@ -58,6 +58,12 @@ class ResourceView {
   [[nodiscard]] const std::vector<ResourceEntry>& entries() const { return entries_; }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] bool contains(NodeId node) const;
+
+  /// The entry about `node`, or nullptr when absent. O(1).
+  [[nodiscard]] const ResourceEntry* find(NodeId node) const {
+    const std::uint16_t slot = lookup(node);
+    return slot == kNoSlot ? nullptr : &entries_[slot];
+  }
   void clear() {
     entries_.clear();
     std::fill(slot_of_.begin(), slot_of_.end(), kNoSlot);

@@ -19,8 +19,8 @@ std::vector<double> link_capacities(const net::Topology& topo) {
 }  // namespace
 
 TransferManager::TransferManager(sim::Engine& engine, const net::Topology& topo,
-                                 const net::Routing& routing, Mode mode)
-    : engine_(engine), topo_(topo), routing_(routing), mode_(mode),
+                                 const net::Routing& routing, Mode mode, bool track_paths)
+    : engine_(engine), topo_(topo), routing_(routing), mode_(mode), track_paths_(track_paths),
       solver_(link_capacities(topo)) {}
 
 std::uint64_t TransferManager::start(NodeId src, NodeId dst, double size_mb,
@@ -62,6 +62,7 @@ std::uint64_t TransferManager::start(NodeId src, NodeId dst, double size_mb,
       return id;
     }
     const double duration = latency + size_mb / bandwidth;
+    if (track_paths_) flow.links = routing_.path_links(src, dst);
     auto [it, ok] = flows_.emplace(id, std::move(flow));
     (void)ok;
     it->second.event = engine_.schedule_in(duration, [this, id] { finish(id, true); });
@@ -115,6 +116,24 @@ bool TransferManager::abort(std::uint64_t id) {
   if (flows_.find(id) == flows_.end()) return false;
   finish(id, false);
   return true;
+}
+
+void TransferManager::link_state_changed(LinkId l, bool up) {
+  if (up) return;  // surviving transfers keep their (still valid) old routes
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [id, flow] : flows_) {
+    if (std::find(flow.links.begin(), flow.links.end(), l) != flow.links.end()) {
+      doomed.push_back(id);
+    }
+  }
+  if (doomed.empty()) return;
+  std::sort(doomed.begin(), doomed.end());  // hash-map order -> deterministic
+  link_aborts_ += doomed.size();
+  if (mode_ == Mode::kFairSharing) {
+    fair_resolve_batch(doomed, false);
+  } else {
+    for (const std::uint64_t id : doomed) finish(id, false);
+  }
 }
 
 // --- net::RateOracle --------------------------------------------------------

@@ -20,7 +20,10 @@
 // transfer-time queries against the live network, consumed by the
 // contention-aware scheduling policies (see rate_oracle.hpp).
 //
-// Transfers abort with success=false when either endpoint leaves the system.
+// Transfers abort with success=false when either endpoint leaves the system,
+// or - when path tracking is on - when a link on their recorded route fails
+// (link_state_changed). The grid layer's retry policy decides what happens
+// next; the manager itself never re-routes an in-flight transfer.
 #pragma once
 
 #include <cstdint>
@@ -43,8 +46,11 @@ class TransferManager : public net::RateOracle {
   /// Move-only (fired at most once); small captures stay allocation-free.
   using CompletionFn = sim::InlineFunction<void(bool success)>;
 
+  /// `track_paths` records the routed path of bottleneck-mode transfers so
+  /// link_state_changed can find them; fair mode always records paths. Off by
+  /// default: the path walk is pure overhead without a fault plan.
   TransferManager(sim::Engine& engine, const net::Topology& topo, const net::Routing& routing,
-                  Mode mode = Mode::kBottleneck);
+                  Mode mode = Mode::kBottleneck, bool track_paths = false);
 
   /// Starts a transfer of `size_mb` megabits from src to dst; the callback
   /// fires (asynchronously) on delivery or abort. Loopback (src == dst)
@@ -58,6 +64,16 @@ class TransferManager : public net::RateOracle {
 
   /// Aborts one transfer by id; false if already completed.
   bool abort(std::uint64_t id);
+
+  /// A topology link failed (up=false) or recovered (up=true). On failure,
+  /// every in-flight transfer whose recorded route crosses the link aborts
+  /// (success=false, id-ascending order). Recovery is a no-op here: routes
+  /// are fixed at start() time, and surviving transfers keep theirs. Call
+  /// AFTER Routing::set_link_state so retries route around the failure.
+  void link_state_changed(LinkId l, bool up);
+
+  /// Transfers aborted by link failures (observability for fault scenarios).
+  [[nodiscard]] std::uint64_t link_aborts() const { return link_aborts_; }
 
   [[nodiscard]] std::size_t active_count() const { return flows_.size(); }
   [[nodiscard]] std::uint64_t completed_count() const { return completed_; }
@@ -85,7 +101,7 @@ class TransferManager : public net::RateOracle {
     double size_mb = 0.0;
     double remaining_mb = 0.0;
     double rate_mbps = 0.0;      ///< current allocated rate (fair mode)
-    std::vector<LinkId> links;   ///< fair mode: route
+    std::vector<LinkId> links;   ///< route (fair mode always; bottleneck when tracked)
     CompletionFn on_done;
     /// Bottleneck-mode completion / fair-mode latency-phase event. Cleared
     /// (kInvalidHandle) the moment the latency phase ends so no later path
@@ -121,6 +137,7 @@ class TransferManager : public net::RateOracle {
   const net::Topology& topo_;
   const net::Routing& routing_;
   Mode mode_;
+  bool track_paths_;
   std::unordered_map<std::uint64_t, Flow> flows_;
   net::FairShareSolver solver_;
   /// Fair mode: projected absolute finish per fluid flow, min-heap-ordered.
@@ -129,6 +146,7 @@ class TransferManager : public net::RateOracle {
   std::vector<std::uint64_t> tie_scratch_;
   std::uint64_t next_id_ = 1;
   std::uint64_t completed_ = 0;
+  std::uint64_t link_aborts_ = 0;
   double delivered_mb_ = 0.0;
   sim::EventQueue::Handle fair_event_ = sim::EventQueue::kInvalidHandle;
   bool fair_event_armed_ = false;

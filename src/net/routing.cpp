@@ -42,6 +42,7 @@ void Routing::build_rows(const Topology& topo, int src_begin, int src_end) {
       pq.pop();
       if (d > dist[static_cast<std::size_t>(u)]) continue;
       for (LinkId l : topo.incident(NodeId{u})) {
+        if (link_up_[static_cast<std::size_t>(l.get())] == 0) continue;  // failed link
         const Link& link = topo.link(l);
         const int v = topo.other_end(l, NodeId{u}).get();
         const double nd = d + link.latency_s;
@@ -79,6 +80,7 @@ void Routing::build_rows(const Topology& topo, int src_begin, int src_end) {
 }
 
 Routing::Routing(const Topology& topo, int threads) : n_(topo.node_count()), topo_(&topo) {
+  link_up_.assign(static_cast<std::size_t>(topo.link_count()), 1);
   const auto nn = static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
   latency_.assign(nn, std::numeric_limits<float>::infinity());
   bandwidth_.assign(nn, 0.0f);
@@ -128,6 +130,68 @@ double Routing::transfer_time_s(NodeId u, NodeId v, double mb) const {
 
 int Routing::hops(NodeId u, NodeId v) const {
   return static_cast<int>(path_links(u, v).size());
+}
+
+void Routing::reset_row(int u) {
+  const auto base = static_cast<std::size_t>(u) * static_cast<std::size_t>(n_);
+  for (std::size_t k = 0; k < static_cast<std::size_t>(n_); ++k) {
+    latency_[base + k] = std::numeric_limits<float>::infinity();
+    bandwidth_[base + k] = 0.0f;
+    next_link_[base + k] = LinkId::kInvalid;
+  }
+}
+
+LinkId::underlying_type Routing::last_link(NodeId u, NodeId v) const {
+  if (u == v) return LinkId::kInvalid;
+  NodeId cur = u;
+  auto last = LinkId::kInvalid;
+  while (cur != v) {
+    const auto raw = next_link_[idx(cur, v)];
+    if (raw == LinkId::kInvalid) return LinkId::kInvalid;  // unreachable
+    last = raw;
+    cur = topo_->other_end(LinkId{raw}, cur);
+  }
+  return last;
+}
+
+void Routing::set_link_state(LinkId l, bool up) {
+  auto& state = link_up_[static_cast<std::size_t>(l.get())];
+  if ((state != 0) == up) return;
+  state = up ? 1 : 0;
+  const Link& link = topo_->link(l);
+  const NodeId a = link.a;
+  const NodeId b = link.b;
+
+  // Which source rows can the change affect?
+  //  - Failure: exactly the sources whose shortest-path tree used l. The tree
+  //    edge into a node is the last link of the routed path to it, so l is in
+  //    SPT(u) iff it is the parent edge of a or of b. (A link never chosen by
+  //    Dijkstra's strict-improvement rule cannot influence any final row.)
+  //  - Recovery: a path through l has the shape u ~> a -l-> b ~> v (or
+  //    mirrored), of length lat(u,a) + L + lat(b,v) >= lat(u,b) + lat(b,v)
+  //    >= lat(u,v) whenever lat(u,a) + L >= lat(u,b) (and symmetrically), so
+  //    only sources with lat(u,a) + L <= lat(u,b) or the mirror can gain;
+  //    <= instead of < absorbs the float rounding of the stored matrix.
+  std::vector<int> affected;
+  for (int u = 0; u < n_; ++u) {
+    const NodeId src{u};
+    bool hit = false;
+    if (!up) {
+      hit = (src != a && last_link(src, a) == l.get()) ||
+            (src != b && last_link(src, b) == l.get());
+    } else {
+      const double da = latency_[idx(src, a)];
+      const double db = latency_[idx(src, b)];
+      hit = (std::isfinite(da) && da + link.latency_s <= db) ||
+            (std::isfinite(db) && db + link.latency_s <= da);
+    }
+    if (hit) affected.push_back(u);
+  }
+  for (const int u : affected) {
+    reset_row(u);
+    build_rows(*topo_, u, u + 1);
+  }
+  repaired_rows_ += affected.size();
 }
 
 std::vector<LinkId> Routing::path_links(NodeId u, NodeId v) const {

@@ -5,15 +5,28 @@
 // link bandwidth along the chosen path) - the quantity the paper's
 // `bandwidth(p_h', p_h)` denotes - plus a next-hop matrix from which full
 // paths can be reconstructed for the flow-sharing network model.
+//
+// Links can fail and recover at runtime (sim::FaultPlan waves). Instead of a
+// full O(n^2 log n) rebuild, set_link_state repairs only the affected source
+// rows: a failed link invalidates exactly the sources whose shortest-path
+// tree used it (detected structurally from the next-hop matrix - the tree
+// contains link (a,b) iff it is the parent edge of a or of b), and a restored
+// link invalidates exactly the sources for which it offers an equal-or-better
+// path to one of its endpoints (O(1) per source from the latency matrix).
+// Each affected row is rebuilt by a fresh per-source Dijkstra over the
+// currently-up links, so the repaired matrices are identical to a full
+// rebuild (routing_repair_test cross-checks this).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "net/topology.hpp"
 
 namespace dpjit::net {
 
-/// All-pairs routing derived from a Topology. Immutable after construction.
+/// All-pairs routing derived from a Topology. Mutable only through
+/// set_link_state (fault injection); otherwise immutable after construction.
 class Routing {
  public:
   /// Runs Dijkstra from every source, one source per thread-pool task;
@@ -44,8 +57,21 @@ class Routing {
 
   /// Mean pairwise bottleneck bandwidth over all ordered pairs u != v that are
   /// reachable - the "true" system average used when computing eft (Eq. 1).
-  /// Computed once at build time; O(1) here.
+  /// Computed once at build time and deliberately NOT refreshed by link
+  /// repairs: eft ranks workflows against the healthy-network average.
   [[nodiscard]] double mean_pair_bandwidth_mbps() const { return mean_bandwidth_mbps_; }
+
+  /// Takes a link down / brings it back up and incrementally repairs the
+  /// affected source rows (see the header comment). No-op when the state does
+  /// not change. Serial; O(affected_rows * E log n).
+  void set_link_state(LinkId l, bool up);
+
+  [[nodiscard]] bool link_state(LinkId l) const {
+    return link_up_[static_cast<std::size_t>(l.get())] != 0;
+  }
+
+  /// Source rows rebuilt by set_link_state repairs so far (tests/bench).
+  [[nodiscard]] std::uint64_t repaired_rows() const { return repaired_rows_; }
 
  private:
   [[nodiscard]] std::size_t idx(NodeId u, NodeId v) const {
@@ -56,9 +82,20 @@ class Routing {
   /// Dijkstra + matrix fill for sources [src_begin, src_end).
   void build_rows(const Topology& topo, int src_begin, int src_end);
 
+  /// Resets source row u to the unreachable defaults (rebuild prerequisite:
+  /// build_rows only writes reachable entries).
+  void reset_row(int u);
+
+  /// Link id of the last hop on the routed u -> v path, or invalid when
+  /// u == v / unreachable. O(hops) walk of the next-hop matrix.
+  [[nodiscard]] LinkId::underlying_type last_link(NodeId u, NodeId v) const;
+
   int n_ = 0;
   const Topology* topo_ = nullptr;
   double mean_bandwidth_mbps_ = 0.0;
+  /// Per-link up/down state (fault injection); all up at construction.
+  std::vector<char> link_up_;
+  std::uint64_t repaired_rows_ = 0;
   // Flattened n x n matrices (float to halve memory at n = 2000).
   std::vector<float> latency_;
   std::vector<float> bandwidth_;

@@ -1,0 +1,132 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dpjit::sim {
+
+FaultPlan::FaultPlan(Engine& engine, FaultParams params, int node_count, int link_count,
+                     util::Rng rng)
+    : engine_(engine), params_(params), nodes_(node_count), links_(link_count), rng_(rng) {
+  if (node_count < 0 || link_count < 0) {
+    throw std::invalid_argument("FaultPlan: negative node/link count");
+  }
+  link_down_.assign(static_cast<std::size_t>(links_), 0);
+  node_down_.assign(static_cast<std::size_t>(nodes_), 0);
+}
+
+void FaultPlan::set_link_handlers(LinkFn on_down, LinkFn on_up) {
+  on_link_down_ = std::move(on_down);
+  on_link_up_ = std::move(on_up);
+}
+
+void FaultPlan::set_node_handlers(NodeFn on_crash, NodeFn on_restart) {
+  on_crash_ = std::move(on_crash);
+  on_restart_ = std::move(on_restart);
+}
+
+void FaultPlan::start() {
+  // Wave processes exist only when their category is actually configured: a
+  // zero-probability plan must add zero events to the run (the digest covers
+  // events_processed, so even a no-op tick would break neutrality).
+  if (params_.link_faults() && links_ > 0) {
+    link_waves_ = std::make_unique<PeriodicProcess>(
+        engine_, params_.link_first_wave_s, params_.link_wave_period_s,
+        [this](std::uint64_t) { link_wave(); });
+    link_waves_->start();
+  }
+  if (params_.crash_faults() && nodes_ > 0) {
+    crash_waves_ = std::make_unique<PeriodicProcess>(engine_, params_.crash_first_s,
+                                                     params_.crash_period_s,
+                                                     [this](std::uint64_t) { crash_wave(); });
+    crash_waves_->start();
+  }
+}
+
+void FaultPlan::stop() {
+  if (link_waves_) link_waves_->stop();
+  if (crash_waves_) crash_waves_->stop();
+}
+
+MessageFate FaultPlan::draw_message_fate() {
+  MessageFate fate;
+  if (!params_.message_faults()) return fate;  // consume nothing when idle
+  if (params_.msg_loss_p > 0.0 && rng_.bernoulli(params_.msg_loss_p)) {
+    fate.lost = true;
+    ++messages_lost_;
+    return fate;
+  }
+  if (params_.msg_dup_p > 0.0 && rng_.bernoulli(params_.msg_dup_p)) {
+    fate.copies = 2;
+    ++messages_duplicated_;
+  }
+  if (params_.msg_delay_p > 0.0 && params_.msg_delay_max_s > 0.0 &&
+      rng_.bernoulli(params_.msg_delay_p)) {
+    fate.extra_delay_s = rng_.uniform(0.0, params_.msg_delay_max_s);
+    ++messages_delayed_;
+  }
+  return fate;
+}
+
+void FaultPlan::link_wave() {
+  // Candidates: links the plan itself still considers up, in ascending id so
+  // the sample (and every handler invocation) is order-deterministic.
+  std::vector<int> up;
+  up.reserve(static_cast<std::size_t>(links_));
+  for (int l = 0; l < links_; ++l) {
+    if (link_down_[static_cast<std::size_t>(l)] == 0) up.push_back(l);
+  }
+  if (up.empty()) return;
+  const auto want = static_cast<std::size_t>(
+      std::floor(params_.link_fail_fraction * static_cast<double>(up.size())));
+  const std::size_t count = std::clamp<std::size_t>(std::max<std::size_t>(want, 1), 1, up.size());
+  auto picked = rng_.sample_indices(up.size(), count);
+  std::sort(picked.begin(), picked.end());
+  for (const std::size_t i : picked) {
+    const LinkId link{up[i]};
+    link_down_[static_cast<std::size_t>(link.get())] = 1;
+    ++link_failures_;
+    if (on_link_down_) on_link_down_(link);
+    const bool permanent = params_.link_permanent_p > 0.0 && rng_.bernoulli(params_.link_permanent_p);
+    if (!permanent && params_.link_downtime_s > 0.0) {
+      engine_.schedule_in(params_.link_downtime_s, [this, link] {
+        link_down_[static_cast<std::size_t>(link.get())] = 0;
+        ++link_recoveries_;
+        if (on_link_up_) on_link_up_(link);
+      });
+    }
+  }
+}
+
+void FaultPlan::crash_wave() {
+  const int exempt = static_cast<int>(
+      std::ceil(params_.crash_exempt_fraction * static_cast<double>(nodes_)));
+  std::vector<int> eligible;
+  eligible.reserve(static_cast<std::size_t>(nodes_));
+  for (int n = exempt; n < nodes_; ++n) {
+    if (node_down_[static_cast<std::size_t>(n)] == 0) eligible.push_back(n);
+  }
+  if (eligible.empty()) return;
+  const auto want = static_cast<std::size_t>(
+      std::floor(params_.crash_fraction * static_cast<double>(eligible.size())));
+  const std::size_t count =
+      std::clamp<std::size_t>(std::max<std::size_t>(want, 1), 1, eligible.size());
+  auto picked = rng_.sample_indices(eligible.size(), count);
+  std::sort(picked.begin(), picked.end());
+  for (const std::size_t i : picked) {
+    const NodeId node{eligible[i]};
+    node_down_[static_cast<std::size_t>(node.get())] = 1;
+    ++node_crashes_;
+    if (on_crash_) on_crash_(node);
+    if (params_.crash_restart_s > 0.0) {
+      engine_.schedule_in(params_.crash_restart_s, [this, node] {
+        node_down_[static_cast<std::size_t>(node.get())] = 0;
+        ++node_restarts_;
+        if (on_restart_) on_restart_(node);
+      });
+    }
+  }
+}
+
+}  // namespace dpjit::sim

@@ -25,7 +25,10 @@ enum class TraceKind {
   kNodeLeave,      ///< churn: node left
   kTaskFailed,     ///< task lost to churn
   kReschedule,     ///< extension: failed task re-entered the schedule-point set
+  kReoffer,        ///< dispatched task pulled back (executor suspected dead)
   kGossip,         ///< gossip message delivered
+  kLinkDown,       ///< fault injection: link failed
+  kLinkUp,         ///< fault injection: link recovered
 };
 
 /// One trace record.

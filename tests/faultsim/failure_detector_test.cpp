@@ -1,0 +1,124 @@
+#include "gossip/failure_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dpjit::gossip {
+namespace {
+
+constexpr NodeId kMe{0};
+constexpr NodeId kPeer{1};
+
+TEST(FailureDetector, StartsAllAlive) {
+  FailureDetector fd(4);
+  for (int o = 0; o < 4; ++o) {
+    for (int p = 0; p < 4; ++p) {
+      EXPECT_EQ(fd.state(NodeId{o}, NodeId{p}), PeerState::kAlive);
+    }
+  }
+}
+
+TEST(FailureDetector, MissedProbeSuspectsThenSweepDeclaresDead) {
+  FailureDetector fd(4);
+  fd.probe_missed(kMe, kPeer, /*now=*/100.0, /*suspect_timeout_s=*/50.0);
+  EXPECT_EQ(fd.state(kMe, kPeer), PeerState::kSuspect);
+  EXPECT_EQ(fd.suspicions(), 1u);
+
+  std::vector<NodeId> dead;
+  fd.sweep(kMe, /*now=*/149.0, [&](NodeId n) { dead.push_back(n); });
+  EXPECT_TRUE(dead.empty());  // deadline is 150, not reached yet
+  fd.sweep(kMe, 150.0, [&](NodeId n) { dead.push_back(n); });
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], kPeer);
+  EXPECT_TRUE(fd.believes_dead(kMe, kPeer));
+  EXPECT_EQ(fd.declared_dead(), 1u);
+}
+
+TEST(FailureDetector, DirectEvidenceRefutesSuspicionAndRevivesDead) {
+  FailureDetector fd(4);
+  fd.probe_missed(kMe, kPeer, 100.0, 50.0);
+  fd.direct_evidence(kMe, kPeer, 120.0);
+  EXPECT_EQ(fd.state(kMe, kPeer), PeerState::kAlive);
+  EXPECT_EQ(fd.refutations(), 1u);
+
+  fd.probe_missed(kMe, kPeer, 200.0, 50.0);
+  fd.sweep(kMe, 250.0, [](NodeId) {});
+  ASSERT_TRUE(fd.believes_dead(kMe, kPeer));
+  fd.direct_evidence(kMe, kPeer, 260.0);
+  EXPECT_EQ(fd.state(kMe, kPeer), PeerState::kAlive);
+  EXPECT_EQ(fd.refutations(), 2u);
+}
+
+TEST(FailureDetector, RepeatedMissesKeepTheOriginalDeadline) {
+  FailureDetector fd(4);
+  fd.probe_missed(kMe, kPeer, 100.0, 50.0);
+  fd.probe_missed(kMe, kPeer, 140.0, 50.0);  // must NOT push the deadline to 190
+  std::vector<NodeId> dead;
+  fd.sweep(kMe, 150.0, [&](NodeId n) { dead.push_back(n); });
+  EXPECT_EQ(dead.size(), 1u);
+  EXPECT_EQ(fd.suspicions(), 1u);
+}
+
+TEST(FailureDetector, IndirectEvidenceDoesNotRefuteSuspicion) {
+  FailureDetector fd(4);
+  fd.probe_missed(kMe, kPeer, 100.0, 50.0);
+  // A gossiped entry is accepted (returns true) but only a DIRECT message
+  // proves the path back works: the suspicion must stand.
+  EXPECT_TRUE(fd.indirect_evidence(kMe, kPeer, 140.0));
+  EXPECT_EQ(fd.state(kMe, kPeer), PeerState::kSuspect);
+}
+
+TEST(FailureDetector, StaleRumorsCannotResurrectTheDead) {
+  FailureDetector fd(4);
+  fd.probe_missed(kMe, kPeer, 100.0, 50.0);
+  fd.sweep(kMe, 150.0, [](NodeId) {});
+  ASSERT_TRUE(fd.believes_dead(kMe, kPeer));
+  // Snapshots at or before the death declaration are stale rumors: dropped.
+  EXPECT_FALSE(fd.indirect_evidence(kMe, kPeer, 120.0));
+  EXPECT_FALSE(fd.indirect_evidence(kMe, kPeer, 150.0));
+  EXPECT_TRUE(fd.believes_dead(kMe, kPeer));
+  // A snapshot post-dating the declaration proves a rejoin: revived.
+  EXPECT_TRUE(fd.indirect_evidence(kMe, kPeer, 151.0));
+  EXPECT_EQ(fd.state(kMe, kPeer), PeerState::kAlive);
+}
+
+TEST(FailureDetector, AnsweredSinceRequiresAliveContactAtOrAfter) {
+  FailureDetector fd(4);
+  EXPECT_FALSE(fd.answered_since(kMe, kPeer, 10.0));  // no contact yet
+  fd.direct_evidence(kMe, kPeer, 20.0);
+  EXPECT_TRUE(fd.answered_since(kMe, kPeer, 10.0));
+  EXPECT_TRUE(fd.answered_since(kMe, kPeer, 20.0));
+  EXPECT_FALSE(fd.answered_since(kMe, kPeer, 21.0));
+}
+
+TEST(FailureDetector, SweepReportsAscendingPeerIds) {
+  FailureDetector fd(8);
+  for (const int p : {5, 2, 7}) fd.probe_missed(kMe, NodeId{p}, 100.0, 10.0);
+  std::vector<int> dead;
+  fd.sweep(kMe, 200.0, [&](NodeId n) { dead.push_back(static_cast<int>(n.get())); });
+  EXPECT_EQ(dead, (std::vector<int>{2, 5, 7}));
+}
+
+TEST(FailureDetector, BeliefsArePerObserver) {
+  FailureDetector fd(4);
+  fd.probe_missed(kMe, kPeer, 100.0, 50.0);
+  fd.sweep(kMe, 200.0, [](NodeId) {});
+  EXPECT_TRUE(fd.believes_dead(kMe, kPeer));
+  EXPECT_FALSE(fd.believes_dead(NodeId{2}, kPeer));
+  EXPECT_FALSE(fd.believes_dead(kPeer, kMe));
+}
+
+TEST(FailureDetector, ResetObserverClearsItsBeliefsOnly) {
+  FailureDetector fd(4);
+  fd.probe_missed(kMe, kPeer, 100.0, 50.0);
+  fd.probe_missed(NodeId{2}, kPeer, 100.0, 50.0);
+  fd.sweep(kMe, 200.0, [](NodeId) {});
+  fd.sweep(NodeId{2}, 200.0, [](NodeId) {});
+  fd.reset_observer(kMe);
+  EXPECT_EQ(fd.state(kMe, kPeer), PeerState::kAlive);
+  EXPECT_TRUE(fd.believes_dead(NodeId{2}, kPeer));
+}
+
+}  // namespace
+}  // namespace dpjit::gossip

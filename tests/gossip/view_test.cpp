@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "gossip/view.hpp"
+#include "util/rng.hpp"
 
 namespace dpjit::gossip {
 namespace {
@@ -55,6 +58,144 @@ TEST(ResourceView, FullViewRejectsStalerThanAll) {
   v.merge(entry(2, 0, 6.0));
   EXPECT_FALSE(v.merge(entry(3, 0, 1.0)));
   EXPECT_FALSE(v.contains(NodeId{3}));
+}
+
+TEST(ResourceView, EqualTimestampLowerTtlIgnored) {
+  ResourceView v(4);
+  v.merge(entry(1, 10, 1.0, 3));
+  EXPECT_FALSE(v.merge(entry(1, 99, 1.0, 1)));
+  EXPECT_EQ(v.entries()[0].ttl, 3);
+  EXPECT_DOUBLE_EQ(v.entries()[0].load_mi, 10.0);  // payload not overwritten
+}
+
+TEST(ResourceView, FullViewEqualStampNewcomerRejected) {
+  // Eviction requires the newcomer to be STRICTLY fresher than the stalest
+  // resident; ties keep the resident (stable under duplicate delivery).
+  ResourceView v(2);
+  v.merge(entry(1, 0, 3.0));
+  v.merge(entry(2, 0, 5.0));
+  EXPECT_FALSE(v.merge(entry(3, 0, 3.0)));
+  EXPECT_TRUE(v.contains(NodeId{1}));
+  EXPECT_FALSE(v.contains(NodeId{3}));
+}
+
+TEST(ResourceView, EvictionReplacesStalestInPlace) {
+  // Entry order is observable (neighbor selection shuffles entries in order),
+  // so eviction must overwrite the stalest slot, not erase + append.
+  ResourceView v(3);
+  v.merge(entry(1, 0, 5.0));
+  v.merge(entry(2, 0, 1.0));  // stalest, slot 1
+  v.merge(entry(3, 0, 7.0));
+  EXPECT_TRUE(v.merge(entry(4, 0, 2.0)));
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.entries()[0].node, NodeId{1});
+  EXPECT_EQ(v.entries()[1].node, NodeId{4});  // took node 2's slot
+  EXPECT_EQ(v.entries()[2].node, NodeId{3});
+}
+
+TEST(ResourceView, FindIsSlotConsistentAcrossMutations) {
+  ResourceView v(3);
+  for (int n = 1; n <= 3; ++n) v.merge(entry(n, 10.0 * n, n));
+  v.forget(NodeId{2});       // compacts: node 3 shifts into slot 1
+  v.merge(entry(4, 40, 9.0));
+  ASSERT_NE(v.find(NodeId{3}), nullptr);
+  EXPECT_DOUBLE_EQ(v.find(NodeId{3})->load_mi, 30.0);
+  EXPECT_EQ(v.find(NodeId{2}), nullptr);
+  ASSERT_NE(v.find(NodeId{4}), nullptr);
+  EXPECT_DOUBLE_EQ(v.find(NodeId{4})->load_mi, 40.0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v.find(v.entries()[i].node), &v.entries()[i]);
+  }
+}
+
+/// Naive index-free reference implementing the documented merge semantics.
+/// The production class promises to preserve this exact entry layout.
+class NaiveView {
+ public:
+  explicit NaiveView(std::size_t capacity) : capacity_(capacity) {}
+
+  bool merge(const ResourceEntry& entry) {
+    for (auto& e : entries_) {
+      if (e.node != entry.node) continue;
+      if (entry.stamped_at > e.stamped_at) {
+        e = entry;
+        return true;
+      }
+      if (entry.stamped_at == e.stamped_at && entry.ttl > e.ttl) e.ttl = entry.ttl;
+      return false;
+    }
+    if (entries_.size() < capacity_) {
+      entries_.push_back(entry);
+      return true;
+    }
+    auto stalest = std::min_element(entries_.begin(), entries_.end(),
+                                    [](const ResourceEntry& a, const ResourceEntry& b) {
+                                      return a.stamped_at < b.stamped_at;
+                                    });
+    if (stalest->stamped_at < entry.stamped_at) {
+      *stalest = entry;
+      return true;
+    }
+    return false;
+  }
+
+  bool forget(NodeId node) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->node == node) {
+        entries_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void expire(SimTime now, double max_age, NodeId self) {
+    std::erase_if(entries_, [&](const ResourceEntry& e) {
+      return e.node == self || (now - e.stamped_at) > max_age;
+    });
+  }
+
+  [[nodiscard]] const std::vector<ResourceEntry>& entries() const { return entries_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<ResourceEntry> entries_;
+};
+
+TEST(ResourceView, RandomizedDifferentialAgainstNaiveReference) {
+  util::Rng rng(20260808);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t cap = 1 + rng.index(12);
+    ResourceView fast(cap);
+    NaiveView slow(cap);
+    double now = 0.0;
+    for (int op = 0; op < 400; ++op) {
+      now += rng.uniform(0.0, 2.0);
+      const int node = 1 + static_cast<int>(rng.index(20));
+      const double roll = rng.uniform01();
+      if (roll < 0.75) {
+        // Stamps drawn near `now`, quantized so equal-stamp ties actually occur.
+        const double stamp = std::floor(rng.uniform(0.0, now + 1.0));
+        const auto e = ResourceEntry{NodeId{node}, rng.uniform(0.0, 50.0), 2.0, stamp,
+                                     static_cast<int>(rng.index(5))};
+        EXPECT_EQ(fast.merge(e), slow.merge(e));
+      } else if (roll < 0.85) {
+        EXPECT_EQ(fast.forget(NodeId{node}), slow.forget(NodeId{node}));
+      } else {
+        fast.expire(now, 5.0, NodeId{node});
+        slow.expire(now, 5.0, NodeId{node});
+      }
+      ASSERT_EQ(fast.size(), slow.entries().size());
+      for (std::size_t i = 0; i < fast.size(); ++i) {
+        const auto& a = fast.entries()[i];
+        const auto& b = slow.entries()[i];
+        ASSERT_EQ(a.node, b.node) << "slot " << i << " diverged";
+        ASSERT_EQ(a.stamped_at, b.stamped_at);
+        ASSERT_EQ(a.ttl, b.ttl);
+        ASSERT_EQ(fast.find(a.node), &fast.entries()[i]);
+      }
+    }
+  }
 }
 
 TEST(ResourceView, ExpireDropsOldAndSelf) {

@@ -267,17 +267,33 @@ int run_scenario(const util::Config& cli, const std::string& name, bool as_json)
 int main(int argc, char** argv) {
   const auto cli = util::Config::from_args(argc, argv);
   const bool as_json = cli.get_bool("json", false);
-  // Accept both --run=NAME and a bare positional scenario name.
+  // Accept both --run=NAME and a bare positional scenario name. A bare
+  // `--run` flag parses as the value "true" (util::Config flag form); treat
+  // it as an empty name so it errors below instead of hunting for a
+  // scenario literally called "true".
   std::string name = cli.get_string("run", "");
+  if (name == "true") name.clear();
+  const bool run_requested = cli.has("run");
   if (name.empty() && !cli.positional().empty()) name = cli.positional().front();
 
   if (cli.get_bool("digest", false)) {
     return emit_digests(name, static_cast<int>(cli.get_int("shards", 1)));
   }
-  // Accept both --describe=NAME and `--describe NAME` (positional).
+  // Accept --describe=NAME, `--describe NAME` (positional) and
+  // `--describe --run=NAME`.
   std::string describe = cli.get_string("describe", "");
-  if (describe.empty() && cli.get_bool("describe", false) && !name.empty()) describe = name;
+  if (describe == "true") describe = name;  // bare flag: use the name operand
+  if (cli.has("describe") && describe.empty()) {
+    std::cerr << "scenario_runner: --describe needs a scenario name (try --list)\n";
+    return 1;
+  }
   if (!describe.empty()) return describe_scenario(describe, as_json);
+  // An explicit --run with no usable name must not silently fall through to
+  // the list (scripts would read exit 0 as "scenario ran").
+  if (run_requested && name.empty()) {
+    std::cerr << "scenario_runner: --run needs a scenario name (try --list)\n";
+    return 1;
+  }
   if (cli.get_bool("list", false) || name.empty()) return list_scenarios(as_json);
   return run_scenario(cli, name, as_json);
 }
