@@ -1,6 +1,6 @@
 // Performance-regression harness for the simulation hot path.
 //
-// Times six things and emits one JSON document (see BENCH_*.json for the
+// Times seven things and emits one JSON document (see BENCH_*.json for the
 // recorded baseline-vs-current numbers):
 //   1. EventQueue micro-ops (schedule/pop and schedule/cancel throughput),
 //      both for the current sim::EventQueue and for a frozen copy of the
@@ -25,7 +25,14 @@
 //      concurrency). The two digests must be identical - a divergence is a
 //      hard failure, not a perf number - and the serial/sharded wall-clock
 //      ratio is recorded as sharded_speedup (~1.0 on single-core runners,
-//      >1 where the worker pool has cores to use).
+//      >1 where the worker pool has cores to use);
+//   7. oracle probe cost: what-if rate queries against a frozen fluid flow
+//      set (the scheduling-cycle regime), three paths: reference (the legacy
+//      from-scratch progressive fill every probe used to run), uncached (the
+//      solver's recorded-schedule replay, no pair cache), and cached (the
+//      TransferManager's epoch-keyed probe cache on top). All three answers
+//      are asserted bit-identical before timing; probe_cache_speedup is the
+//      cached-vs-reference ratio - the full cost drop a scheduling cycle saw.
 //
 // Usage: perf_harness [--quick] [--nodes=500] [--ops=6000000] [--seed=1]
 //                     [--tflows=1000] [--tcomps=600] [--acomps=10000]
@@ -459,8 +466,8 @@ class ScanArmFairManager {
   }
 
   void apply_updated() {
-    for (const auto& [fid, rate] : solver_.updated()) {
-      flows_.find(fid)->second.rate_mbps = rate;
+    for (const auto& u : solver_.updated()) {
+      flows_.find(u.id)->second.rate_mbps = u.rate;
     }
   }
 
@@ -629,6 +636,32 @@ double bench_arming(const dpjit::net::Topology& topo, const dpjit::net::Routing&
   return static_cast<double>(target) / dt;
 }
 
+/// Stage-7 probe paths, slowest to fastest.
+enum class ProbePath { kReference, kUncached, kCached };
+
+/// One timed probe loop for stage 7: `probes` what-if rate queries round-robin
+/// over a fixed pair pool against a frozen flow set, through the selected
+/// oracle path. Returns probes per wall-clock second; rates fold into `acc`
+/// so the optimizer cannot drop the calls.
+template <ProbePath kPath>
+double bench_probe(const dpjit::grid::TransferManager& tm,
+                   const std::vector<std::pair<dpjit::NodeId, dpjit::NodeId>>& pool,
+                   std::uint64_t probes, double& acc) {
+  const double t0 = now_s();
+  for (std::uint64_t i = 0; i < probes; ++i) {
+    const auto& [src, dst] = pool[i % pool.size()];
+    if constexpr (kPath == ProbePath::kReference) {
+      acc += tm.predicted_rate_mbps_reference(src, dst);
+    } else if constexpr (kPath == ProbePath::kUncached) {
+      acc += tm.predicted_rate_mbps_uncached(src, dst);
+    } else {
+      acc += tm.predicted_rate_mbps(src, dst);
+    }
+  }
+  const double dt = now_s() - t0;
+  return static_cast<double>(probes) / dt;
+}
+
 /// The disjoint-pair WAN for bench_arming: nodes 2p and 2p+1 joined by one
 /// 5-10 Mb/s link, no inter-pair connectivity.
 dpjit::net::Topology disjoint_pairs_topology(int pairs) {
@@ -662,7 +695,7 @@ int main(int argc, char** argv) {
   auto median3 = [](double a, double b, double c) {
     return std::max(std::min(a, b), std::min(std::max(a, b), c));
   };
-  std::fprintf(stderr, "[1/6] event-queue micro-ops (%zu ops/run)...\n", ops);
+  std::fprintf(stderr, "[1/7] event-queue micro-ops (%zu ops/run)...\n", ops);
   double base_sp[3], cur_sp[3], base_sc[3], cur_sc[3];
   for (int r = 0; r < 3; ++r) {
     base_sp[r] = bench_schedule_pop<BaselineEventQueue>(ops, sink);
@@ -676,7 +709,7 @@ int main(int argc, char** argv) {
   const double current_cancel = median3(cur_sc[0], cur_sc[1], cur_sc[2]);
 
   // --- 2. Routing construction ---------------------------------------------
-  std::fprintf(stderr, "[2/6] routing build (n=%d)...\n", nodes);
+  std::fprintf(stderr, "[2/7] routing build (n=%d)...\n", nodes);
   util::Rng topo_rng(seed);
   net::TopologyParams tp;
   tp.node_count = nodes;
@@ -691,7 +724,7 @@ int main(int argc, char** argv) {
       net::Routing routing(topo);
       const double dt = (now_s() - t0) * 1e3;
       best = std::min(best, dt);
-      routing_mean_bw = routing.mean_pair_bandwidth_mbps();
+      routing_mean_bw = routing.initial_mean_pair_bandwidth_mbps();
     }
     routing_ms = best;
   }
@@ -699,7 +732,7 @@ int main(int argc, char** argv) {
   // --- 3. Transfer-heavy fair-sharing benchmarks ----------------------------
   // Fixed 128-node topology regardless of --nodes: the metric is flow-event
   // throughput at --tflows concurrent fluid flows, not topology scale.
-  std::fprintf(stderr, "[3/6] fair-sharing transfers (%zu concurrent, %llu completions)...\n",
+  std::fprintf(stderr, "[3/7] fair-sharing transfers (%zu concurrent, %llu completions)...\n",
                tflows, static_cast<unsigned long long>(tcomps));
   double base_steady = 0.0, cur_steady = 0.0, base_teardown = 0.0, cur_teardown = 0.0;
   {
@@ -731,7 +764,7 @@ int main(int argc, char** argv) {
   // --- 4. Next-completion arming (scan vs CompletionIndex) ------------------
   // 512 disjoint pairs so the solver work per event is O(1): what remains is
   // the per-flow passes, isolating the arming strategy the index replaced.
-  std::fprintf(stderr, "[4/6] next-completion arming (%zu flows, %llu completions)...\n",
+  std::fprintf(stderr, "[4/7] next-completion arming (%zu flows, %llu completions)...\n",
                tflows, static_cast<unsigned long long>(acomps));
   double scan_arming = 0.0, index_arming = 0.0;
   {
@@ -747,7 +780,7 @@ int main(int argc, char** argv) {
   }
 
   // --- 5. End-to-end fig11-style run ---------------------------------------
-  std::fprintf(stderr, "[5/6] end-to-end dsmf run (n=%d, 36 h horizon)...\n", nodes);
+  std::fprintf(stderr, "[5/7] end-to-end dsmf run (n=%d, 36 h horizon)...\n", nodes);
   exp::ExperimentConfig cfg;
   cfg.algorithm = "dsmf";
   cfg.nodes = nodes;
@@ -762,7 +795,7 @@ int main(int argc, char** argv) {
   // exist; --quick only shortens the horizon so per-window density - and
   // with it the speedup being measured - stays comparable.
   const auto speers = static_cast<int>(cli.get_int("speers", 200000));
-  std::fprintf(stderr, "[6/6] shard engine scale model (%d peers, shards 1 vs 4)...\n", speers);
+  std::fprintf(stderr, "[6/7] shard engine scale model (%d peers, shards 1 vs 4)...\n", speers);
   exp::ScaleParams sp;
   sp.peers = speers;
   sp.horizon_s = quick ? 120.0 : 600.0;
@@ -781,6 +814,76 @@ int main(int argc, char** argv) {
               << "): the shard engine broke determinism\n";
     return 1;
   }
+
+  // --- 7. Oracle probe cache ------------------------------------------------
+  // The scheduling-cycle regime: the flow set is frozen (no events run between
+  // probes, exactly as during a dispatch pass), so every what-if rate query
+  // hits the same fair-share fixed point. Reference = the legacy from-scratch
+  // progressive fill (what every probe cost before this layer existed);
+  // uncached = the solver's recorded-schedule replay with the pair cache
+  // bypassed; cached = the TransferManager's epoch-keyed probe cache on top.
+  // Flow sizes are huge so nothing completes during setup; the pair pool is
+  // far smaller than the probe count so the cached loop measures steady-state
+  // hits, matching a cycle where every home asks about the same frontier.
+  const auto rprobes = static_cast<std::uint64_t>(cli.get_int("rprobes", quick ? 100 : 400));
+  const auto uprobes = static_cast<std::uint64_t>(cli.get_int("uprobes", quick ? 50000 : 200000));
+  const auto cprobes = static_cast<std::uint64_t>(cli.get_int("cprobes", quick ? 400000 : 2000000));
+  std::fprintf(stderr,
+               "[7/7] oracle probe cache (%zu flows, %llu reference / %llu uncached / %llu cached "
+               "probes)...\n",
+               tflows, static_cast<unsigned long long>(rprobes),
+               static_cast<unsigned long long>(uprobes),
+               static_cast<unsigned long long>(cprobes));
+  double reference_probes_per_s = 0.0, uncached_probes_per_s = 0.0, cached_probes_per_s = 0.0;
+  constexpr std::size_t kProbePool = 256;
+  {
+    util::Rng prng(9);
+    net::TopologyParams ptp;
+    ptp.node_count = 128;
+    const auto ptopo = net::Topology::generate_waxman(ptp, prng);
+    const net::Routing prouting(ptopo);
+    sim::Engine pengine;
+    grid::TransferManager ptm(pengine, ptopo, prouting,
+                              grid::TransferManager::Mode::kFairSharing);
+    auto random_pair = [&]() -> std::pair<NodeId, NodeId> {
+      const auto src = NodeId{static_cast<int>(prng.index(128))};
+      auto dst = NodeId{static_cast<int>(prng.index(128))};
+      if (dst == src) dst = NodeId{(src.get() + 1) % 128};
+      return {src, dst};
+    };
+    for (std::size_t i = 0; i < tflows; ++i) {
+      const auto [src, dst] = random_pair();
+      // 1e6-2e6 Mb at WAN rates: nothing finishes inside the warm-up window.
+      ptm.start(src, dst, prng.uniform(1e6, 2e6), [](bool) {});
+    }
+    pengine.run_until(5.0);  // past every latency phase: the pool is fully fluid
+    std::vector<std::pair<NodeId, NodeId>> pool;
+    pool.reserve(kProbePool);
+    for (std::size_t i = 0; i < kProbePool; ++i) pool.push_back(random_pair());
+    // Bit-exactness self-check before timing: a cache that answers fast but
+    // wrong is a regression, not a speedup.
+    for (const auto& [src, dst] : pool) {
+      const double ref = ptm.predicted_rate_mbps_reference(src, dst);
+      if (ptm.predicted_rate_mbps(src, dst) != ref ||
+          ptm.predicted_rate_mbps_uncached(src, dst) != ref) {
+        std::cerr << "perf_harness: probe cache diverged from a from-scratch solve\n";
+        return 1;
+      }
+    }
+    double acc = 0.0;
+    double rp[2], up[2], cp[2];
+    for (int r = 0; r < 2; ++r) {
+      rp[r] = bench_probe<ProbePath::kReference>(ptm, pool, rprobes, acc);
+      up[r] = bench_probe<ProbePath::kUncached>(ptm, pool, uprobes, acc);
+      cp[r] = bench_probe<ProbePath::kCached>(ptm, pool, cprobes, acc);
+    }
+    reference_probes_per_s = std::max(rp[0], rp[1]);
+    uncached_probes_per_s = std::max(up[0], up[1]);
+    cached_probes_per_s = std::max(cp[0], cp[1]);
+    sink += static_cast<std::uint64_t>(std::isfinite(acc) ? acc : 1.0) & 1u;
+  }
+  const double probe_cache_speedup = cached_probes_per_s / std::max(reference_probes_per_s, 1e-9);
+  const double probe_replay_speedup = uncached_probes_per_s / std::max(reference_probes_per_s, 1e-9);
 
   // --- emit ----------------------------------------------------------------
   std::ostringstream json;
@@ -801,7 +904,7 @@ int main(int argc, char** argv) {
     w.key("routing").begin_object();
     w.kv("nodes", static_cast<std::int64_t>(nodes));
     w.kv("build_ms", routing_ms);
-    w.kv("mean_pair_bandwidth_mbps", routing_mean_bw);
+    w.kv("initial_mean_pair_bandwidth_mbps", routing_mean_bw);
     w.end_object();
     w.key("transfer").begin_object();
     w.kv("topology_nodes", static_cast<std::int64_t>(128));
@@ -848,6 +951,19 @@ int main(int argc, char** argv) {
          static_cast<double>(scale_serial.events_processed) / std::max(scale_serial.wall_s, 1e-9));
     w.kv("scale_digest", shard_digest);
     w.end_object();
+    w.key("oracle").begin_object();
+    w.kv("topology_nodes", static_cast<std::int64_t>(128));
+    w.kv("concurrent_flows", static_cast<std::uint64_t>(tflows));
+    w.kv("pair_pool", static_cast<std::uint64_t>(kProbePool));
+    w.kv("reference_probes", rprobes);
+    w.kv("uncached_probes", uprobes);
+    w.kv("cached_probes", cprobes);
+    w.kv("reference_probes_per_s", reference_probes_per_s);
+    w.kv("uncached_probes_per_s", uncached_probes_per_s);
+    w.kv("cached_probes_per_s", cached_probes_per_s);
+    w.kv("probe_replay_speedup", probe_replay_speedup);
+    w.kv("probe_cache_speedup", probe_cache_speedup);
+    w.end_object();
     w.end_object();
   }
   json << "\n";
@@ -872,7 +988,9 @@ int main(int argc, char** argv) {
                "fair teardown %.2f -> %.2f ms (%.1fx)\n"
                "next-completion arming %.0f -> %.0f completions/s (%.2fx)\n"
                "end-to-end n=%d: %.2f s wall, %llu events (%.0f events/s)\n"
-               "shard engine %d peers: serial %.2f s vs 4-shard %.2f s (%.2fx, digest ok)\n",
+               "shard engine %d peers: serial %.2f s vs 4-shard %.2f s (%.2fx, digest ok)\n"
+               "oracle probes ref %.0f -> replay %.0f -> cached %.0f probes/s (%.0fx, "
+               "bit-identical)\n",
                baseline_pop, current_pop, current_pop / baseline_pop, baseline_cancel,
                current_cancel, current_cancel / baseline_cancel, nodes, routing_ms, base_steady,
                cur_steady, cur_steady / base_steady, base_teardown, cur_teardown,
@@ -881,6 +999,8 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(result.events_processed),
                static_cast<double>(result.events_processed) / e2e_wall, speers,
                scale_serial.wall_s, scale_sharded.wall_s,
-               scale_serial.wall_s / std::max(scale_sharded.wall_s, 1e-9));
+               scale_serial.wall_s / std::max(scale_sharded.wall_s, 1e-9),
+               reference_probes_per_s, uncached_probes_per_s, cached_probes_per_s,
+               probe_cache_speedup);
   return sink == 0xdeadbeef ? 2 : 0;
 }

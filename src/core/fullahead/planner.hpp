@@ -34,6 +34,14 @@ struct PlannerOracle {
   dag::AverageEstimates averages;
   /// True pairwise bottleneck bandwidth.
   BandwidthEstimateFn bandwidth;
+  /// Optional live transfer-time estimator (latency + size over the rate the
+  /// network would allocate right now - net::RateOracle semantics). When set,
+  /// the planners charge edge and image movement through it instead of the
+  /// static `size / bandwidth` division; when empty, planning is byte-for-byte
+  /// the classic static-bandwidth HEFT/SMF (the goldens of heft/smf/heft-la
+  /// depend on that). The contention-aware registry entries (dheft-ca,
+  /// lookahead-ca) are what set it.
+  TransferTimeFn transfer_time;
 };
 
 /// One workflow to plan.

@@ -4,12 +4,15 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_set>
+#include <utility>
 
 #include "core/rpm.hpp"
 #include "dag/critical_path.hpp"
 #include "net/routing.hpp"
 
 namespace dpjit::core {
+
 
 // ---------------------------------------------------------------------------
 // Shard mapping for the conservative time-window PDES loop.
@@ -128,6 +131,7 @@ class SystemDispatchContext final : public DispatchContext {
     // Live-oracle LTD: the TransferManager answers what each input transfer
     // would cost if it started now (in fair-sharing mode a what-if probe of
     // the max-min solver; in bottleneck mode the true routed path rate).
+    prefill_oracle_cache();
     TransferTimeFn oracle_fn = [this](NodeId from, NodeId to, double mb) {
       return oracle_transfer_time(from, to, mb);
     };
@@ -152,6 +156,41 @@ class SystemDispatchContext final : public DispatchContext {
   }
 
  private:
+  static std::uint64_t pair_key(NodeId from, NodeId to) {
+    const auto src_bits = static_cast<std::uint64_t>(static_cast<std::uint32_t>(from.get()));
+    return (src_bits << 32) | static_cast<std::uint32_t>(to.get());
+  }
+
+  /// Fills the per-cycle cache with every (input location, resource) pair a
+  /// contention-aware policy can ask about this cycle, through one batched
+  /// RateOracle::probe_rates call. Lazy on the first contended estimate so
+  /// static algorithms pay nothing; probes are side-effect-free, so prefilling
+  /// pairs the policy never ends up ranking cannot change any answer.
+  void prefill_oracle_cache() const {
+    if (oracle_prefilled_) return;
+    oracle_prefilled_ = true;
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    std::unordered_set<std::uint64_t> seen;
+    for (const auto& wf : pending_) {
+      for (const auto& t : wf.tasks) {
+        for (const auto& in : t.inputs.inputs) {
+          for (const auto& r : resources_) {
+            if (in.location == r.node) continue;  // loopback: no probe needed
+            if (seen.insert(pair_key(in.location, r.node)).second) {
+              pairs.emplace_back(in.location, r.node);
+            }
+          }
+        }
+      }
+    }
+    const std::vector<double> rates = sys_.transfers_->probe_rates(pairs);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto [from, to] = pairs[i];
+      oracle_cache_.emplace(pair_key(from, to),
+                            std::pair<double, double>{sys_.routing_.latency_s(from, to), rates[i]});
+    }
+  }
+
   /// Oracle-backed transfer time with a per-cycle (src, dst) cache. The
   /// context lives for exactly one scheduling cycle and the engine processes
   /// no events while it runs, so the in-flight flow set - and therefore every
@@ -161,8 +200,7 @@ class SystemDispatchContext final : public DispatchContext {
   /// number of distinct node pairs.
   [[nodiscard]] double oracle_transfer_time(NodeId from, NodeId to, double mb) const {
     if (from == to) return 0.0;
-    const auto src_bits = static_cast<std::uint64_t>(static_cast<std::uint32_t>(from.get()));
-    const std::uint64_t key = (src_bits << 32) | static_cast<std::uint32_t>(to.get());
+    const std::uint64_t key = pair_key(from, to);
     auto it = oracle_cache_.find(key);
     if (it == oracle_cache_.end()) {
       const double latency = sys_.routing_.latency_s(from, to);
@@ -188,6 +226,7 @@ class SystemDispatchContext final : public DispatchContext {
   std::vector<PendingWorkflow> pending_;
   /// (src << 32 | dst) -> (latency_s, predicted rate) for this cycle.
   mutable std::unordered_map<std::uint64_t, std::pair<double, double>> oracle_cache_;
+  mutable bool oracle_prefilled_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -221,7 +260,10 @@ GridSystem::GridSystem(sim::Engine& engine, const net::Topology& topo,
   double cap_sum = 0.0;
   for (double c : capacities) cap_sum += c;
   true_averages_.capacity_mips = cap_sum / static_cast<double>(n);
-  true_averages_.bandwidth_mbps = std::max(routing.mean_pair_bandwidth_mbps(), 1e-9);
+  // Deliberately the t=0 healthy-network mean: ranking weights stay stable
+  // across link failures/repairs (see "Stale mean bandwidth" in
+  // ARCHITECTURE.md for why this is the right average to rank against).
+  true_averages_.bandwidth_mbps = std::max(routing.initial_mean_pair_bandwidth_mbps(), 1e-9);
 
   if (config_.churn.interval_s <= 0.0) config_.churn.interval_s = config_.scheduling_interval_s;
 
@@ -414,6 +456,15 @@ void GridSystem::ensure_full_ahead_plan() {
   }
   oracle.averages = true_averages_;
   oracle.bandwidth = [this](NodeId a, NodeId b) { return routing_.bandwidth_mbps(a, b); };
+  if (algorithm_.contended_planner) {
+    // Contention-aware planning: charge transfers at the rate the live
+    // network would allocate right now. Repeated pairs dedupe through the
+    // TransferManager's epoch-keyed probe cache, so a whole planning batch
+    // costs one component solve per distinct pair.
+    oracle.transfer_time = [this](NodeId a, NodeId b, double mb) {
+      return transfers_->expected_transfer_time_s(a, b, mb);
+    };
+  }
   std::vector<PlanRequest> requests;
   for (std::size_t k = planned_count_; k < workflows_.size(); ++k) {
     auto& wf = workflows_[k];

@@ -14,7 +14,7 @@ void DheftPolicy::run(DispatchContext& ctx) {
                      return a->rpm > b->rpm;
                    });
   for (const CandidateTask* t : tasks) {
-    const int r = select_min_ft(ctx, *t);
+    const int r = select_node(ctx, *t);
     if (r < 0) continue;
     ctx.dispatch(*t, ctx.resources()[static_cast<std::size_t>(r)].node);
   }

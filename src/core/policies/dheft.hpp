@@ -9,10 +9,18 @@
 
 namespace dpjit::core {
 
-class DheftPolicy final : public FirstPhasePolicy {
+class DheftPolicy : public FirstPhasePolicy {
  public:
   [[nodiscard]] std::string_view name() const override { return "dheft"; }
   void run(DispatchContext& ctx) override;
+
+ protected:
+  /// Placement rule for one schedule point (Formula 9 minimization). The
+  /// contention-aware variant overrides this to rank by live oracle probes;
+  /// the ordering above it is shared (same hook shape as DsmfPolicy's).
+  [[nodiscard]] virtual int select_node(DispatchContext& ctx, const CandidateTask& task) const {
+    return select_min_ft(ctx, task);
+  }
 };
 
 }  // namespace dpjit::core

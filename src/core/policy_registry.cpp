@@ -4,6 +4,7 @@
 
 #include "core/policies/batch_heuristics.hpp"
 #include "core/policies/dheft.hpp"
+#include "core/policies/dheft_ca.hpp"
 #include "core/policies/dsdf.hpp"
 #include "core/policies/dsmf.hpp"
 #include "core/policies/dsmf_ca.hpp"
@@ -58,6 +59,13 @@ Algorithm make_algorithm(std::string_view name) {
   } else if (name == "dsmf-tc") {
     a.make_first = first<DsmfPolicy>();
     a.make_second = second("tcms");
+  } else if (name == "dheft-ca") {
+    a.make_first = first<DheftCaPolicy>();
+    a.make_second = second("lrpm");
+  } else if (name == "lookahead-ca") {
+    a.make_planner = [] { return std::make_unique<LookaheadHeftPlanner>(); };
+    a.make_second = second("fcfs");
+    a.contended_planner = true;
   } else if (name == "dsmf-fcfs") {
     a.make_first = first<DsmfPolicy>();
     a.make_second = second("fcfs");
@@ -86,7 +94,8 @@ std::vector<std::string> paper_algorithms() {
 std::vector<std::string> all_algorithms() {
   auto names = paper_algorithms();
   for (const char* v : {"dsmf-fcfs", "dheft-fcfs", "minmin-fcfs", "maxmin-fcfs",
-                        "sufferage-fcfs", "heft-la", "dsmf-ca", "dsmf-tc"}) {
+                        "sufferage-fcfs", "heft-la", "dsmf-ca", "dsmf-tc", "dheft-ca",
+                        "lookahead-ca"}) {
     names.emplace_back(v);
   }
   return names;

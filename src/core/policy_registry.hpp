@@ -26,6 +26,11 @@ struct Algorithm {
   std::function<std::unique_ptr<FullAheadPlanner>()> make_planner;
   /// Always non-null.
   std::function<std::unique_ptr<ReadyQueuePolicy>()> make_second;
+  /// Full-ahead algorithms only: plan transfer costs through the live
+  /// net::RateOracle (PlannerOracle::transfer_time gets wired to the
+  /// TransferManager) instead of the static bandwidth matrix. Meaningless
+  /// for just-in-time algorithms, whose -ca variants probe per dispatch.
+  bool contended_planner = false;
 
   [[nodiscard]] bool full_ahead() const { return static_cast<bool>(make_planner); }
 };
@@ -40,7 +45,11 @@ struct Algorithm {
 ///               time (live what-if probes of the fair-sharing solver);
 ///   "dsmf-tc" - DSMF with the transfer-time-corrected "tcms" second phase
 ///               (realized input-staging time credited against the stamped
-///               remaining makespan).
+///               remaining makespan);
+///   "dheft-ca" - DHEFT with Formula (9) ranked by oracle-predicted
+///               completion time (the DHEFT analog of dsmf-ca);
+///   "lookahead-ca" - lookahead HEFT planning its transfer costs through the
+///               live oracle at plan time (contended_planner set).
 /// Throws std::invalid_argument on unknown names.
 [[nodiscard]] Algorithm make_algorithm(std::string_view name);
 

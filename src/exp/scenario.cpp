@@ -124,6 +124,17 @@ ScenarioRegistry build_registry() {
              c.set_load_range(10, 1000);
              c.set_data_range(100, 10000);
            })});
+  reg.add({"contention/fullahead-ca",
+           "contention-aware full-ahead planning (lookahead-ca) under max-min fair sharing: "
+           "plan-time transfer costs come from live oracle probes instead of the static "
+           "bandwidth matrix, data-heavy CCR ~ 16",
+           "", RuntimeTier::kSlow, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.algorithm = "lookahead-ca";
+             c.fair_sharing = true;
+             c.set_load_range(10, 1000);
+             c.set_data_range(100, 10000);
+           })});
   reg.add({"contention/aware-corrected",
            "transfer-time-corrected second phase (dsmf-tc) under fair sharing at load factor "
            "8: ready sets deep enough that re-ranking by realized input-staging time bites, "

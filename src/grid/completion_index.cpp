@@ -7,7 +7,21 @@
 
 namespace dpjit::grid {
 
-void CompletionIndex::upsert(std::uint64_t id, double finish_s) {
+std::uint32_t CompletionIndex::upsert(std::uint64_t id, double finish_s, std::uint32_t hint) {
+  // A hint is only trusted when it still names a live entry for this very
+  // flow: erase() parks freed slots with heap_pos == kNpos, and a recycled
+  // slot carries the new owner's id, so both staleness modes are caught.
+  if (hint != kNoSlot && hint < slots_.size() && slots_[hint].heap_pos != kNpos &&
+      slots_[hint].id == id) {
+    const double old_key = slots_[hint].key;
+    slots_[hint].key = finish_s;
+    if (finish_s < old_key) {
+      sift_up(slots_[hint].heap_pos);
+    } else if (finish_s > old_key) {
+      sift_down(slots_[hint].heap_pos);
+    }
+    return hint;
+  }
   const auto it = slot_of_.find(id);
   if (it != slot_of_.end()) {
     const std::uint32_t slot = it->second;
@@ -18,7 +32,7 @@ void CompletionIndex::upsert(std::uint64_t id, double finish_s) {
     } else if (finish_s > old_key) {
       sift_down(slots_[slot].heap_pos);
     }
-    return;
+    return slot;
   }
   std::uint32_t slot;
   if (free_head_ != kNpos) {
@@ -35,6 +49,7 @@ void CompletionIndex::upsert(std::uint64_t id, double finish_s) {
   heap_.push_back(slot);
   slots_[slot].heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
   sift_up(heap_.size() - 1);
+  return slot;
 }
 
 bool CompletionIndex::erase(std::uint64_t id) {

@@ -27,8 +27,16 @@ class CompletionIndex {
     double finish_s = 0.0;
   };
 
-  /// Inserts the flow or re-keys an existing entry to `finish_s`.
-  void upsert(std::uint64_t id, double finish_s);
+  /// Sentinel slot handle: always an invalid hint for upsert().
+  static constexpr std::uint32_t kNoSlot = 0xffffffffU;
+
+  /// Inserts the flow or re-keys an existing entry to `finish_s`. Returns the
+  /// slab slot holding the entry; callers that re-key the same flow after
+  /// every rate re-solve can pass it back as `hint` to skip the id hash
+  /// lookup. A stale hint (freed slot, or slab slot recycled by another flow)
+  /// is detected and falls back to the lookup, so any remembered value is
+  /// safe to pass.
+  std::uint32_t upsert(std::uint64_t id, double finish_s, std::uint32_t hint = kNoSlot);
 
   /// Removes the flow's entry; false when absent (safe no-op).
   bool erase(std::uint64_t id);

@@ -119,6 +119,10 @@ bool TransferManager::abort(std::uint64_t id) {
 }
 
 void TransferManager::link_state_changed(LinkId l, bool up) {
+  // Probe paths change on failure AND recovery (Routing::set_link_state has
+  // already rerouted by contract), so the cache stamp moves either way even
+  // though only failures abort transfers below.
+  ++link_stamp_;
   if (up) return;  // surviving transfers keep their (still valid) old routes
   std::vector<std::uint64_t> doomed;
   for (const auto& [id, flow] : flows_) {
@@ -138,7 +142,7 @@ void TransferManager::link_state_changed(LinkId l, bool up) {
 
 // --- net::RateOracle --------------------------------------------------------
 
-double TransferManager::predicted_rate_mbps(NodeId src, NodeId dst) const {
+double TransferManager::predicted_rate_mbps_uncached(NodeId src, NodeId dst) const {
   if (src == dst) return kInf;  // loopback transfers are free
   if (mode_ == Mode::kBottleneck) {
     // No contention in this model: the live rate IS the static path rate.
@@ -147,6 +151,62 @@ double TransferManager::predicted_rate_mbps(NodeId src, NodeId dst) const {
   const std::vector<LinkId> links = routing_.path_links(src, dst);
   if (links.empty()) return 0.0;  // unreachable pair (no route)
   return solver_.probe_rate(links);
+}
+
+double TransferManager::predicted_rate_mbps_reference(NodeId src, NodeId dst) const {
+  if (src == dst) return kInf;  // loopback transfers are free
+  if (mode_ == Mode::kBottleneck) {
+    return routing_.bandwidth_mbps(src, dst);
+  }
+  const std::vector<LinkId> links = routing_.path_links(src, dst);
+  if (links.empty()) return 0.0;  // unreachable pair (no route)
+  return solver_.probe_rate_reference(links);
+}
+
+double TransferManager::predicted_rate_mbps(NodeId src, NodeId dst) const {
+  if (src == dst) return kInf;  // loopback transfers are free
+  if (mode_ == Mode::kBottleneck) {
+    // The matrix read is cheaper than any cache lookup and always live.
+    return routing_.bandwidth_mbps(src, dst);
+  }
+  // Stamp check: the cache holds exactly while no flow joined/left the fluid
+  // pool and no link changed state. Probes themselves never move either
+  // stamp, so a ranking pass over hundreds of candidates reuses one solve
+  // per distinct pair.
+  const std::uint64_t solver_stamp = solver_.mutation_stamp();
+  if (probe_cache_solver_stamp_ != solver_stamp || probe_cache_link_stamp_ != link_stamp_) {
+    probe_cache_.clear();
+    probe_cache_solver_stamp_ = solver_stamp;
+    probe_cache_link_stamp_ = link_stamp_;
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src.get())) << 32) |
+      static_cast<std::uint32_t>(dst.get());
+  if (const auto it = probe_cache_.find(key); it != probe_cache_.end()) {
+    ++probe_cache_hits_;
+#ifndef NDEBUG
+    // Sampled differential check (every 64th hit): a full per-hit re-probe
+    // would make Debug builds as slow as the uncached path; the dedicated
+    // probe_cache test asserts bit-equality at EVERY step instead.
+    if ((probe_cache_hits_ & 63u) == 0) {
+      assert(it->second == predicted_rate_mbps_uncached(src, dst) &&
+             "probe cache diverged from a fresh solve");
+    }
+#endif
+    return it->second;
+  }
+  ++probe_cache_misses_;
+  const double rate = predicted_rate_mbps_uncached(src, dst);
+  probe_cache_.emplace(key, rate);
+  return rate;
+}
+
+std::vector<double> TransferManager::probe_rates(
+    const std::vector<std::pair<NodeId, NodeId>>& pairs) const {
+  std::vector<double> rates;
+  rates.reserve(pairs.size());
+  for (const auto& [src, dst] : pairs) rates.push_back(predicted_rate_mbps(src, dst));
+  return rates;
 }
 
 double TransferManager::expected_transfer_time_s(NodeId src, NodeId dst, double size_mb) const {
@@ -177,7 +237,11 @@ void TransferManager::fair_flow_started(std::uint64_t id) {
     return;
   }
   flow.fluid = true;
-  solver_.add(id, flow.links);
+  // The Flow's address is stable (node-based unordered_map), so it rides
+  // along as the solver's user cookie: every future rate update for this
+  // flow comes back with the pointer attached, sparing a hash lookup per
+  // re-solved flow on the hottest path in fair mode.
+  solver_.add(id, flow.links, &flow);
   fair_apply_updated_rates();
   fair_abort_stalled();
   fair_schedule_next_completion();
@@ -189,8 +253,8 @@ void TransferManager::fair_abort_stalled() {
   // re-solved component is cheap, and running it after every mutation makes
   // the no-zero-rate-fluid-flow invariant unconditional.
   std::vector<std::uint64_t> stalled;
-  for (const auto& [fid, rate] : solver_.updated()) {
-    if (rate <= 0.0) stalled.push_back(fid);
+  for (const auto& u : solver_.updated()) {
+    if (u.rate <= 0.0) stalled.push_back(u.id);
   }
   if (stalled.empty()) return;
   std::sort(stalled.begin(), stalled.end());
@@ -216,15 +280,20 @@ void TransferManager::fair_apply_updated_rates() {
   // brute-force arming scan would compute at this moment.
   assert(fair_clock_ == engine_.now());
   const SimTime now = engine_.now();
-  for (const auto& [fid, rate] : solver_.updated()) {
-    auto it = flows_.find(fid);
-    assert(it != flows_.end() && it->second.fluid);
-    it->second.rate_mbps = rate;
-    if (rate > 0.0) {
-      next_completion_.upsert(fid, now + it->second.remaining_mb / rate);
+  for (const auto& u : solver_.updated()) {
+    // The cookie is the Flow itself (attached at solver_.add time); removed
+    // flows leave the solver before the re-solve, so every entry here names
+    // a live flow and the pointer cannot dangle.
+    Flow& flow = *static_cast<Flow*>(u.user);
+    assert(flows_.find(u.id) != flows_.end() && &flows_.find(u.id)->second == &flow &&
+           flow.fluid);
+    flow.rate_mbps = u.rate;
+    if (u.rate > 0.0) {
+      flow.ci_slot = next_completion_.upsert(u.id, now + flow.remaining_mb / u.rate, flow.ci_slot);
     } else {
       // Saturated path: fair_abort_stalled() resolves it right after this.
-      next_completion_.erase(fid);
+      next_completion_.erase(u.id);
+      flow.ci_slot = CompletionIndex::kNoSlot;
     }
   }
 }

@@ -18,7 +18,16 @@
 //
 // The manager also implements net::RateOracle: what-if transfer-rate and
 // transfer-time queries against the live network, consumed by the
-// contention-aware scheduling policies (see rate_oracle.hpp).
+// contention-aware scheduling policies (see rate_oracle.hpp). Fair-mode
+// probes are memoized per (src, dst) pair in an epoch-keyed cache: a cached
+// rate is valid exactly while the solver's mutation stamp and the manager's
+// link-state stamp both stand still, which holds for an entire scheduling
+// cycle (the engine runs no flow events mid-cycle), so every home node's
+// ranking pass shares one component solve per pair instead of paying
+// O(component) per candidate. Invalidation is by stamp comparison only -
+// cached answers are bit-identical to fresh probes by construction, and a
+// sampled debug assert plus the probe_cache differential test hold the cache
+// to that.
 //
 // Transfers abort with success=false when either endpoint leaves the system,
 // or - when path tracking is on - when a link on their recorded route fails
@@ -28,6 +37,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "grid/completion_index.hpp"
@@ -67,9 +77,10 @@ class TransferManager : public net::RateOracle {
 
   /// A topology link failed (up=false) or recovered (up=true). On failure,
   /// every in-flight transfer whose recorded route crosses the link aborts
-  /// (success=false, id-ascending order). Recovery is a no-op here: routes
-  /// are fixed at start() time, and surviving transfers keep theirs. Call
-  /// AFTER Routing::set_link_state so retries route around the failure.
+  /// (success=false, id-ascending order). Recovery only invalidates the probe
+  /// cache: routes are fixed at start() time, so surviving transfers keep
+  /// theirs, but future probes see the rerouted paths. Call AFTER
+  /// Routing::set_link_state so retries and probes route around the failure.
   void link_state_changed(LinkId l, bool up);
 
   /// Transfers aborted by link failures (observability for fault scenarios).
@@ -85,7 +96,8 @@ class TransferManager : public net::RateOracle {
   /// Rate a new src->dst transfer would get right now. Bottleneck mode: the
   /// routed path's bottleneck bandwidth (flows never contend). Fair mode: a
   /// side-effect-free what-if probe of the incremental max-min solver against
-  /// the current in-flight flow set.
+  /// the current in-flight flow set, memoized per pair until the next solver
+  /// mutation or link-state change (see the class comment).
   [[nodiscard]] double predicted_rate_mbps(NodeId src, NodeId dst) const override;
 
   /// latency(path) + size_mb / predicted_rate_mbps. 0 for loopback; +inf for
@@ -93,6 +105,29 @@ class TransferManager : public net::RateOracle {
   /// extrapolates the instantaneous allocation over the whole transfer.
   [[nodiscard]] double expected_transfer_time_s(NodeId src, NodeId dst,
                                                 double size_mb) const override;
+
+  /// Batched probe; every entry goes through (and warms) the probe cache, so
+  /// a cycle's worth of pairs costs one component solve per *distinct* pair.
+  [[nodiscard]] std::vector<double> probe_rates(
+      const std::vector<std::pair<NodeId, NodeId>>& pairs) const override;
+
+  /// The pre-cache probe path: routes and solves on every call, never reads
+  /// or writes the cache. This is the reference the cached answer must match
+  /// bit-for-bit; exposed for the differential tests and the perf harness's
+  /// cached-vs-uncached speedup stage, not for schedulers.
+  [[nodiscard]] double predicted_rate_mbps_uncached(NodeId src, NodeId dst) const;
+
+  /// The legacy probe path: routes and then re-runs the progressive fill from
+  /// scratch (FairShareSolver::probe_rate_reference), bypassing both the pair
+  /// cache and the solver's recorded probe schedules. This is the "before"
+  /// side of the perf harness's oracle stage - what every probe cost prior to
+  /// the cache layers - and a differential anchor for tests.
+  [[nodiscard]] double predicted_rate_mbps_reference(NodeId src, NodeId dst) const;
+
+  /// Fair-mode probes answered from the cache / answered by a fresh solve
+  /// since construction (observability for tests and the perf harness).
+  [[nodiscard]] std::uint64_t probe_cache_hits() const { return probe_cache_hits_; }
+  [[nodiscard]] std::uint64_t probe_cache_misses() const { return probe_cache_misses_; }
 
  private:
   struct Flow {
@@ -109,6 +144,10 @@ class TransferManager : public net::RateOracle {
     sim::EventQueue::Handle event = sim::EventQueue::kInvalidHandle;
     bool latency_pending = false;  ///< fair mode: still in propagation delay
     bool fluid = false;            ///< fair mode: joined the fluid pool
+    /// CompletionIndex slab slot from the last upsert, passed back as a hint
+    /// to skip the id hash lookup on re-key. Stale values are safe: the index
+    /// validates the hint against the flow id before trusting it.
+    std::uint32_t ci_slot = CompletionIndex::kNoSlot;
   };
 
   void finish(std::uint64_t id, bool success);
@@ -138,6 +177,19 @@ class TransferManager : public net::RateOracle {
   const net::Routing& routing_;
   Mode mode_;
   bool track_paths_;
+  // --- fair-mode probe cache (see class comment). Keyed (src << 32 | dst);
+  // valid while (solver mutation stamp, manager link stamp) both match the
+  // values captured when the cache was last cleared. `mutable`: the oracle
+  // interface is const and the cache is pure memoization - by the solver's
+  // probe-purity invariant a hit and a fresh probe are indistinguishable.
+  mutable std::unordered_map<std::uint64_t, double> probe_cache_;
+  mutable std::uint64_t probe_cache_solver_stamp_ = 0;
+  mutable std::uint64_t probe_cache_link_stamp_ = 0;
+  mutable std::uint64_t probe_cache_hits_ = 0;
+  mutable std::uint64_t probe_cache_misses_ = 0;
+  /// Bumped by link_state_changed for BOTH directions: Routing reroutes on
+  /// failure and recovery alike, so cached paths go stale either way.
+  std::uint64_t link_stamp_ = 0;
   std::unordered_map<std::uint64_t, Flow> flows_;
   net::FairShareSolver solver_;
   /// Fair mode: projected absolute finish per fluid flow, min-heap-ordered.

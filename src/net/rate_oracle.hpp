@@ -22,6 +22,8 @@
 #pragma once
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "util/types.hpp"
 
@@ -58,6 +60,19 @@ class RateOracle {
   /// (unreachable pair or zero predicted rate).
   [[nodiscard]] virtual double expected_transfer_time_s(NodeId src, NodeId dst,
                                                         double size_mb) const = 0;
+
+  /// Batched probe: one predicted rate per (src, dst) pair, in pair order.
+  /// Each entry equals predicted_rate_mbps(src, dst) bit-for-bit - the batch
+  /// is a convenience (one virtual call, one walk) for callers that prefetch
+  /// a scheduling cycle's worth of pairs, not a different estimator.
+  /// Duplicate pairs are allowed and each receives the same answer.
+  [[nodiscard]] virtual std::vector<double> probe_rates(
+      const std::vector<std::pair<NodeId, NodeId>>& pairs) const {
+    std::vector<double> rates;
+    rates.reserve(pairs.size());
+    for (const auto& [src, dst] : pairs) rates.push_back(predicted_rate_mbps(src, dst));
+    return rates;
+  }
 };
 
 }  // namespace dpjit::net

@@ -56,10 +56,15 @@ class Routing {
   [[nodiscard]] int node_count() const { return n_; }
 
   /// Mean pairwise bottleneck bandwidth over all ordered pairs u != v that are
-  /// reachable - the "true" system average used when computing eft (Eq. 1).
-  /// Computed once at build time and deliberately NOT refreshed by link
-  /// repairs: eft ranks workflows against the healthy-network average.
-  [[nodiscard]] double mean_pair_bandwidth_mbps() const { return mean_bandwidth_mbps_; }
+  /// reachable, computed once at build time from the healthy (all-links-up)
+  /// topology - the "true" system average used when computing eft (Eq. 1).
+  /// The name says *initial*: this is deliberately NOT refreshed by
+  /// set_link_state, so it goes stale the moment links fail or recover. That
+  /// is the intended contract - eft ranks workflows against the stable
+  /// healthy-network average so a mid-run failure wave cannot reshuffle
+  /// relative rankings - and the rename exists so no caller can mistake it
+  /// for a live mean again (see "Stale mean bandwidth" in ARCHITECTURE.md).
+  [[nodiscard]] double initial_mean_pair_bandwidth_mbps() const { return mean_bandwidth_mbps_; }
 
   /// Takes a link down / brings it back up and incrementally repairs the
   /// affected source rows (see the header comment). No-op when the state does

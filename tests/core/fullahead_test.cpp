@@ -197,5 +197,62 @@ TEST(Lookahead, AvoidsNodeThatStrandsTheChild) {
       << "lookahead co-locates parent with the child's node";
 }
 
+TEST(FullAhead, EmptyTransferTimeFnIsByteIdenticalToStaticPath) {
+  // An unset PlannerOracle::transfer_time must leave planning EXACTLY the
+  // classic static-bandwidth HEFT (heft/smf goldens depend on it), and a
+  // transfer_time that encodes the same `size / bw` arithmetic must agree.
+  const auto wfa = testing::fig3_workflow_a();
+  const auto wfb = testing::fig3_workflow_b();
+  const std::vector<PlanRequest> reqs = {{WorkflowId{0}, &wfa, NodeId{0}, 115.0},
+                                         {WorkflowId{1}, &wfb, NodeId{0}, 65.0}};
+  auto o = oracle3();
+  HeftPlanner static_planner;
+  Assignment static_plan;
+  static_planner.plan(reqs, o, static_plan);
+
+  auto o_live = oracle3();
+  o_live.transfer_time = [&o](NodeId from, NodeId to, double mb) {
+    const double bw = o.bandwidth(from, to);
+    return bw > 0.0 ? mb / bw : kInf;
+  };
+  HeftPlanner live_planner;
+  Assignment live_plan;
+  live_planner.plan(reqs, o_live, live_plan);
+  EXPECT_EQ(static_plan, live_plan);
+}
+
+TEST(FullAhead, TransferTimeOracleSteersAwayFromCongestedPath) {
+  // One task with a 100 Mb image, home node 0 (slow CPU), node 1 fast. The
+  // healthy bandwidth matrix says shipping the image to node 1 is cheap, so
+  // the static planner offloads. The live oracle reports node 1's input path
+  // as saturated right now - the contended planner must keep the task home.
+  dag::Workflow wf(WorkflowId{0});
+  auto t = wf.add_task(10, 100.0);
+  PlannerOracle o;
+  o.nodes = {{NodeId{0}, 0.0, 1.0, 0.0, 0}, {NodeId{1}, 0.0, 10.0, 0.0, 0}};
+  o.averages = {1.0, 1.0};
+  o.bandwidth = [](NodeId u, NodeId v) { return u == v ? kInf : 100.0; };
+
+  HeftPlanner static_planner;
+  Assignment static_plan;
+  static_planner.plan({{WorkflowId{0}, &wf, NodeId{0}, 10.0}}, o, static_plan);
+  EXPECT_EQ(static_plan.at(TaskRef{WorkflowId{0}, t}), NodeId{1});  // image 1 s, exec 1 s
+
+  o.transfer_time = [](NodeId from, NodeId to, double mb) {
+    if (from == to) return 0.0;
+    // Anything flowing INTO node 1 crawls at 0.01 Mb/s right now.
+    return to == NodeId{1} ? mb / 0.01 : mb / 100.0;
+  };
+  HeftPlanner live_planner;
+  Assignment live_plan;
+  live_planner.plan({{WorkflowId{0}, &wf, NodeId{0}, 10.0}}, o, live_plan);
+  EXPECT_EQ(live_plan.at(TaskRef{WorkflowId{0}, t}), NodeId{0});
+
+  LookaheadHeftPlanner la;
+  Assignment la_plan;
+  la.plan({{WorkflowId{0}, &wf, NodeId{0}, 10.0}}, o, la_plan);
+  EXPECT_EQ(la_plan.at(TaskRef{WorkflowId{0}, t}), NodeId{0});
+}
+
 }  // namespace
 }  // namespace dpjit::core

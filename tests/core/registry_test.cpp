@@ -59,7 +59,7 @@ TEST(Registry, UnknownThrows) {
 
 TEST(Registry, AllAlgorithmsIncludesVariants) {
   const auto all = all_algorithms();
-  EXPECT_EQ(all.size(), 16u);
+  EXPECT_EQ(all.size(), 18u);
   for (const auto& name : all) EXPECT_NO_THROW(make_algorithm(name));
 }
 
@@ -73,6 +73,18 @@ TEST(Registry, ContentionAwareExtensionsRegistered) {
   EXPECT_FALSE(tc.full_ahead());
   EXPECT_EQ(tc.make_first()->name(), "dsmf");
   EXPECT_EQ(tc.make_second()->name(), "tcms");
+
+  const auto dca = make_algorithm("dheft-ca");
+  EXPECT_FALSE(dca.full_ahead());
+  EXPECT_FALSE(dca.contended_planner);
+  EXPECT_EQ(dca.make_first()->name(), "dheft-ca");
+  EXPECT_EQ(dca.make_second()->name(), "lrpm");
+
+  const auto lca = make_algorithm("lookahead-ca");
+  EXPECT_TRUE(lca.full_ahead());
+  EXPECT_TRUE(lca.contended_planner);
+  EXPECT_EQ(lca.make_planner()->name(), "heft-la");
+  EXPECT_EQ(lca.make_second()->name(), "fcfs");
 }
 
 TEST(Registry, LookaheadHeftExtensionRegistered) {

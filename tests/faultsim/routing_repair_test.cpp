@@ -94,9 +94,9 @@ TEST(RoutingRepair, MeanPairBandwidthStaysFrozen) {
   // silently move it.
   const auto topo = triangle();
   Routing r(topo, 1);
-  const double healthy = r.mean_pair_bandwidth_mbps();
+  const double healthy = r.initial_mean_pair_bandwidth_mbps();
   r.set_link_state(LinkId{0}, false);
-  EXPECT_DOUBLE_EQ(r.mean_pair_bandwidth_mbps(), healthy);
+  EXPECT_DOUBLE_EQ(r.initial_mean_pair_bandwidth_mbps(), healthy);
 }
 
 TEST(RoutingRepair, RepairMatchesFullRebuildOnRandomWaxmanSequences) {

@@ -53,7 +53,7 @@ TEST(FairShareSolver, LoopbackFlowIsUnlimitedAndInert) {
   EXPECT_TRUE(std::isinf(s.rate(2)));
   EXPECT_DOUBLE_EQ(s.rate(1), 6.0);  // untouched by the loopback flow
   ASSERT_EQ(s.updated().size(), 1u);
-  EXPECT_EQ(s.updated()[0].first, 2u);
+  EXPECT_EQ(s.updated()[0].id, 2u);
   s.remove(2);
   EXPECT_DOUBLE_EQ(s.rate(1), 6.0);
 }
@@ -65,8 +65,8 @@ TEST(FairShareSolver, DisjointComponentsAreNotResolved) {
   // Adding a flow on the other link must only re-solve its own component.
   s.add(3, {LinkId{1}});
   ASSERT_EQ(s.updated().size(), 1u);
-  EXPECT_EQ(s.updated()[0].first, 3u);
-  EXPECT_DOUBLE_EQ(s.updated()[0].second, 8.0);
+  EXPECT_EQ(s.updated()[0].id, 3u);
+  EXPECT_DOUBLE_EQ(s.updated()[0].rate, 8.0);
   EXPECT_DOUBLE_EQ(s.rate(1), 2.0);
   EXPECT_DOUBLE_EQ(s.rate(2), 2.0);
   // Removing it likewise leaves the link-0 component alone.
@@ -82,7 +82,7 @@ TEST(FairShareSolver, BridgingFlowMergesComponents) {
   s.add(3, {LinkId{0}, LinkId{1}});
   // All three flows now share one component and were all re-solved.
   std::set<std::uint64_t> touched;
-  for (const auto& [id, rate] : s.updated()) touched.insert(id);
+  for (const auto& u : s.updated()) touched.insert(u.id);
   EXPECT_EQ(touched, (std::set<std::uint64_t>{1, 2, 3}));
   expect_matches_full_solve(s);
 }
@@ -310,6 +310,114 @@ TEST(FairShareSolver, ManyDisjointComponentsStayIndependent) {
     EXPECT_DOUBLE_EQ(s.rate(id + 1), 5.0);
   }
   expect_matches_full_solve(s);
+}
+
+TEST(FairShareSolver, MutationStampMovesOnMutationsOnly) {
+  // The probe-cache invalidation contract: every observable mutation bumps
+  // the stamp; probes - however many - never do.
+  const std::vector<double> caps = {10.0, 10.0};
+  FairShareSolver s(caps);
+  EXPECT_EQ(s.mutation_stamp(), 0u);
+  s.add(1, {LinkId{0}, LinkId{1}});
+  const std::uint64_t after_add = s.mutation_stamp();
+  EXPECT_GT(after_add, 0u);
+  for (int i = 0; i < 100; ++i) {
+    (void)s.probe_rate({LinkId{0}});
+    (void)s.probe_rate({LinkId{0}, LinkId{1}});
+    (void)s.probe_rate({});
+  }
+  EXPECT_EQ(s.mutation_stamp(), after_add);
+  s.add(2, {LinkId{0}});
+  EXPECT_GT(s.mutation_stamp(), after_add);
+  const std::uint64_t after_second = s.mutation_stamp();
+  s.remove(2);
+  EXPECT_GT(s.mutation_stamp(), after_second);
+  const std::uint64_t after_remove = s.mutation_stamp();
+  s.add(3, {LinkId{1}});
+  s.remove_batch({1, 3});
+  EXPECT_GT(s.mutation_stamp(), after_remove + 1);  // add + batch both bumped
+}
+
+TEST(FairShareSolver, ProbeReplayMatchesReferenceUnderRandomizedChurn) {
+  // The fast probe path answers from a recorded per-component fill schedule
+  // (amortized across all probes between two mutations); probe_rate_reference
+  // re-runs the progressive fill from scratch every call. The two must be bit
+  // -identical for every probe - this is what lets the replay answer stand in
+  // for the legacy loop without moving a single golden digest. Paths with
+  // repeated links and probes spanning disjoint islands (which take the
+  // reference fallback internally) are part of the mix on purpose.
+  std::mt19937_64 gen(0x5eed8);
+  for (const std::size_t n_links : {4UL, 9UL, 16UL}) {
+    std::vector<double> caps;
+    std::uniform_real_distribution<double> cap(0.5, 16.0);
+    for (std::size_t l = 0; l < n_links; ++l) caps.push_back(cap(gen));
+    FairShareSolver solver(caps);
+    std::vector<std::uint64_t> live;
+    std::uint64_t next_id = 1;
+    std::uniform_int_distribution<int> op_pick(0, 9);
+    std::uniform_int_distribution<std::size_t> len(0, 5);
+    // Flows live on the lower half of the pool so probes over the full pool
+    // regularly cross island boundaries and idle links.
+    std::uniform_int_distribution<std::size_t> flow_pick(0, n_links / 2);
+    std::uniform_int_distribution<std::size_t> probe_pick(0, n_links - 1);
+    auto random_links = [&](auto& dist) {
+      std::vector<LinkId> links;
+      const std::size_t want = len(gen);
+      for (std::size_t k = 0; k < want; ++k) {
+        links.push_back(LinkId{static_cast<LinkId::underlying_type>(dist(gen))});
+      }
+      return links;  // duplicates allowed: repeated crossings are legal paths
+    };
+    for (int op = 0; op < 150; ++op) {
+      if (live.empty() || op_pick(gen) < 6) {
+        solver.add(next_id, random_links(flow_pick));
+        live.push_back(next_id++);
+      } else {
+        std::uniform_int_distribution<std::size_t> at(0, live.size() - 1);
+        const std::size_t k = at(gen);
+        solver.remove(live[k]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+      }
+      for (int p = 0; p < 40; ++p) {
+        const std::vector<LinkId> path = random_links(probe_pick);
+        const double fast = solver.probe_rate(path);
+        const double ref = solver.probe_rate_reference(path);
+        ASSERT_EQ(fast, ref) << "probe diverged from reference at op " << op;
+      }
+    }
+  }
+}
+
+TEST(FairShareSolver, ProbeReplayMatchesReferenceOnLargeComponent) {
+  // A single component wide enough (> 2x the near-set size) that the solver's
+  // near/far share-scan partition engages: the recorded schedules and their
+  // replays must still match the reference fill exactly, round for round.
+  std::mt19937_64 gen(0xb16c0);
+  const std::size_t n_links = 220;
+  std::vector<double> caps;
+  std::uniform_real_distribution<double> cap(0.5, 16.0);
+  for (std::size_t l = 0; l < n_links; ++l) caps.push_back(cap(gen));
+  FairShareSolver solver(caps);
+  std::uniform_int_distribution<std::size_t> pick(0, n_links - 1);
+  // A shared backbone link glues everything into one component; two extra
+  // random crossings per flow spread the contention.
+  for (std::uint64_t id = 1; id <= 300; ++id) {
+    std::vector<LinkId> links{LinkId{0}};
+    links.push_back(LinkId{static_cast<LinkId::underlying_type>(pick(gen))});
+    links.push_back(LinkId{static_cast<LinkId::underlying_type>(pick(gen))});
+    solver.add(id, std::move(links));
+  }
+  expect_matches_full_solve(solver);
+  for (int p = 0; p < 500; ++p) {
+    std::vector<LinkId> path;
+    const std::size_t want = 1 + p % 4;
+    for (std::size_t k = 0; k < want; ++k) {
+      path.push_back(LinkId{static_cast<LinkId::underlying_type>(pick(gen))});
+    }
+    const double fast = solver.probe_rate(path);
+    const double ref = solver.probe_rate_reference(path);
+    ASSERT_EQ(fast, ref) << "probe " << p << " diverged on the wide component";
+  }
 }
 
 }  // namespace

@@ -141,7 +141,7 @@ TEST(Routing, MeanPairBandwidthPositive) {
   params.node_count = 40;
   const auto topo = Topology::generate_waxman(params, rng);
   Routing r(topo);
-  const double mean = r.mean_pair_bandwidth_mbps();
+  const double mean = r.initial_mean_pair_bandwidth_mbps();
   EXPECT_GT(mean, params.min_bandwidth_mbps);
   EXPECT_LT(mean, params.max_bandwidth_mbps);
 }

@@ -61,12 +61,16 @@ def main() -> None:
     base_se = "shard_engine"
     if current.get("quick") and "quick_shard_engine" in baseline:
         base_se = "quick_shard_engine"
+    base_or = "oracle"
+    if current.get("quick") and "quick_oracle" in baseline:
+        base_or = "quick_oracle"
     watched = [
         ("event_queue", base_eq, "schedule_pop_speedup"),
         ("event_queue", base_eq, "schedule_cancel_pop_speedup"),
         ("transfer", base_tr, "fair_sharing_speedup"),
         ("next_completion", base_nc, "arming_speedup"),
         ("shard_engine", base_se, "sharded_speedup"),
+        ("oracle", base_or, "probe_cache_speedup"),
     ]
     info = [
         ("event_queue", "current_schedule_pop_mops"),
@@ -79,6 +83,10 @@ def main() -> None:
         ("shard_engine", "serial_events_per_s"),
         ("shard_engine", "sharded_s"),
         ("shard_engine", "parallel_windows"),
+        ("oracle", "reference_probes_per_s"),
+        ("oracle", "uncached_probes_per_s"),
+        ("oracle", "cached_probes_per_s"),
+        ("oracle", "probe_replay_speedup"),
     ]
     for section, key in info:
         print(f"info: {section}.{key} = {current.get(section, {}).get(key)}")

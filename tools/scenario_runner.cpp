@@ -12,7 +12,10 @@
 //   ./scenario_runner --digest > tests/scenario/golden_digests.json
 //
 // Run overrides: --nodes, --workflows, --seed, --hours, --algorithm,
-// --small (applies the conformance preset before running).
+// --small (applies the conformance preset before running), and the CCR
+// knobs --load=MIN:MAX (task load, MI) / --data=MIN:MAX (edge data, Mb) so
+// any scenario sweeps across the Figs. 9-10 regimes without registering
+// throwaway variants.
 //
 // `--shards=N` selects the PDES shard count for sharded (scale/*) scenarios;
 // results and digests are byte-identical at every count, which the
@@ -26,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/policy_registry.hpp"
 #include "exp/reporters.hpp"
 #include "exp/scale_model.hpp"
 #include "exp/scenario.hpp"
@@ -90,6 +94,19 @@ int describe_scenario(const std::string& name, bool as_json) {
   } else if (cfg.mean_interarrival_s > 0.0) {
     arrivals = "open-poisson";
   }
+  // Which transfer model the run simulates, and whether the algorithm reads
+  // the live RateOracle or only static estimates - the two axes a reader of
+  // a contention/* result needs to know to interpret it.
+  const char* network_model = cfg.fair_sharing ? "fair-sharing" : "bottleneck";
+  const auto algo = core::make_algorithm(cfg.algorithm);
+  const bool ca_suffix = cfg.algorithm.size() > 3 &&
+                         cfg.algorithm.compare(cfg.algorithm.size() - 3, 3, "-ca") == 0;
+  const char* oracle_path = "static estimates (gossip averages / bandwidth matrix)";
+  if (algo.contended_planner) {
+    oracle_path = "live RateOracle probes at plan time (batched probe_rates)";
+  } else if (ca_suffix) {
+    oracle_path = "live RateOracle probes per scheduling cycle (what-if fair-share solves)";
+  }
   if (as_json) {
     std::cout << "{\n";
     std::cout << "  \"name\": \"" << util::json_escape(s->name) << "\",\n";
@@ -102,6 +119,8 @@ int describe_scenario(const std::string& name, bool as_json) {
     std::cout << "  \"horizon_hours\": " << cfg.system.horizon_s / 3600.0 << ",\n";
     std::cout << "  \"seed\": " << cfg.seed << ",\n";
     std::cout << "  \"fair_sharing\": " << (cfg.fair_sharing ? "true" : "false") << ",\n";
+    std::cout << "  \"network_model\": \"" << network_model << "\",\n";
+    std::cout << "  \"oracle_path\": \"" << oracle_path << "\",\n";
     std::cout << "  \"dynamic_factor\": " << cfg.dynamic_factor << ",\n";
     std::cout << "  \"reschedule\": " << (cfg.reschedule ? "true" : "false") << ",\n";
     std::cout << "  \"load_mi\": [" << cfg.workflow.min_load_mi << ", ";
@@ -125,6 +144,8 @@ int describe_scenario(const std::string& name, bool as_json) {
   std::cout << "horizon:           " << cfg.system.horizon_s / 3600.0 << " h\n";
   std::cout << "seed:              " << cfg.seed << "\n";
   std::cout << "fair sharing:      " << (cfg.fair_sharing ? "yes" : "no") << "\n";
+  std::cout << "network model:     " << network_model << "\n";
+  std::cout << "oracle path:       " << oracle_path << "\n";
   std::cout << "dynamic factor:    " << cfg.dynamic_factor << "\n";
   std::cout << "reschedule failed: " << (cfg.reschedule ? "yes" : "no") << "\n";
   std::cout << "task load (MI):    [" << cfg.workflow.min_load_mi << ", ";
@@ -238,6 +259,33 @@ int run_scenario(const util::Config& cli, const std::string& name, bool as_json)
       static_cast<int>(cli.get_int("workflows", cfg.workflows_per_node));
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
   cfg.system.horizon_s = cli.get_double("hours", cfg.system.horizon_s / 3600.0) * 3600.0;
+  // CCR overrides, "MIN:MAX" (e.g. --load=100:10000 --data=10:1000 is the
+  // paper's compute-heavy regime).
+  const auto parse_range = [](const std::string& spec, const char* flag,
+                              double& lo, double& hi) {
+    if (spec.empty()) return true;
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos) {
+      std::cerr << "scenario_runner: --" << flag << " wants MIN:MAX, got '" << spec << "'\n";
+      return false;
+    }
+    try {
+      lo = std::stod(spec.substr(0, colon));
+      hi = std::stod(spec.substr(colon + 1));
+    } catch (const std::exception&) {
+      std::cerr << "scenario_runner: --" << flag << " wants MIN:MAX, got '" << spec << "'\n";
+      return false;
+    }
+    return true;
+  };
+  double load_lo = cfg.workflow.min_load_mi, load_hi = cfg.workflow.max_load_mi;
+  double data_lo = cfg.workflow.min_data_mb, data_hi = cfg.workflow.max_data_mb;
+  if (!parse_range(cli.get_string("load", ""), "load", load_lo, load_hi) ||
+      !parse_range(cli.get_string("data", ""), "data", data_lo, data_hi)) {
+    return 1;
+  }
+  cfg.set_load_range(load_lo, load_hi);
+  cfg.set_data_range(data_lo, data_hi);
 
   if (scenario->sharded) return run_scale_scenario(cli, *scenario, cfg, as_json);
 
