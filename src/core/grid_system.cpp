@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/rpm.hpp"
+#include "core/workflow_shard.hpp"
 #include "dag/critical_path.hpp"
 #include "net/routing.hpp"
 
@@ -281,11 +282,9 @@ GridSystem::GridSystem(sim::Engine& engine, const net::Topology& topo,
 
   // Path tracking only matters when link faults can happen; without a plan it
   // is pure overhead (and the seed behavior must stay untouched).
-  transfers_ = std::make_unique<grid::TransferManager>(
-      engine_, topo_, routing_,
-      config_.fair_sharing ? grid::TransferManager::Mode::kFairSharing
-                           : grid::TransferManager::Mode::kBottleneck,
-      /*track_paths=*/faults_ != nullptr);
+  transfers_ = std::make_unique<grid::TransferManager>(engine_, topo_, routing_,
+                                                       config_.effective_network_mode(),
+                                                       /*track_paths=*/faults_ != nullptr);
 
   churn_ = std::make_unique<grid::ChurnModel>(
       engine_, config_.churn, n, rng_.fork("churn"),
@@ -356,6 +355,20 @@ void GridSystem::start() {
 
 void GridSystem::run() {
   start();
+  if (config_.effective_network_mode() == net::NetworkMode::kQuantisedFair) {
+    // The quantised barrier/ledger loop (core/workflow_shard) owns the clock:
+    // it interleaves world epochs with frozen-rate ledger integration on a
+    // ShardEngine. shards = 1 is the serial case of the SAME loop - there is
+    // deliberately no second quantised code path to drift from it.
+    const ShardMap map = shard_map(config_.shards);
+    const double epoch = derive_quantised_epoch(map, config_.quantised_epoch_s);
+    const QuantisedRunStats stats = run_quantised_transfers(
+        engine_, *transfers_, map, epoch, config_.threads, config_.horizon_s);
+    quantised_barriers_ = stats.barriers;
+    quantised_drains_ = stats.flows_drained;
+    quantised_parallel_windows_ = stats.parallel_windows;
+    return;
+  }
   engine_.run_until(config_.horizon_s);
 }
 

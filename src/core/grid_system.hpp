@@ -137,7 +137,22 @@ struct SystemConfig {
   /// Churn (dynamic_factor 0 = static environment).
   grid::ChurnModel::Params churn;
   /// Contended network ablation (default: paper's bottleneck model).
+  /// Legacy switch for the fluid model; see `network_mode` for the seam.
   bool fair_sharing = false;
+  /// Network-model seam (net/network_model.hpp). kBottleneck defers to the
+  /// legacy `fair_sharing` flag above; any other value wins over it. Use
+  /// effective_network_mode() to resolve the pair.
+  net::NetworkMode network_mode = net::NetworkMode::kBottleneck;
+  /// Quantised-fair epoch length in seconds; <= 0 derives
+  /// max(min routed latency, 60 s) from the shard map (shard-count-invariant,
+  /// so the derived barrier schedule is too). Ignored by the other modes.
+  double quantised_epoch_s = 0.0;
+  /// Quantised-fair barrier loop only: ledger shard count and worker threads
+  /// for the sim::ShardEngine run (core/workflow_shard). Results are
+  /// byte-identical at any setting; these are wall-clock knobs. Ignored - with
+  /// a stderr note from the scenario runner - by the zero-lookahead modes.
+  int shards = 1;
+  int threads = 1;
   /// Extension (paper future work): reschedule tasks lost to churn.
   bool reschedule_failed = false;
   /// Result collection: completed task outputs are also retained at the
@@ -153,6 +168,15 @@ struct SystemConfig {
   /// Retry/backoff hardening for link-failure transfer aborts.
   TransferRetryPolicy transfer_retry;
   std::uint64_t seed = 1;
+
+  /// The mode the TransferManager actually runs in: `network_mode` unless it
+  /// is kBottleneck, in which case the legacy `fair_sharing` flag picks
+  /// between bottleneck and fluid-fair (back-compat: every pre-seam config
+  /// keeps its exact meaning).
+  [[nodiscard]] net::NetworkMode effective_network_mode() const {
+    if (network_mode != net::NetworkMode::kBottleneck) return network_mode;
+    return fair_sharing ? net::NetworkMode::kFluidFair : net::NetworkMode::kBottleneck;
+  }
 };
 
 class GridSystem {
@@ -221,6 +245,14 @@ class GridSystem {
 
   /// Tasks pulled back from suspected-dead executors (message-level gossip).
   [[nodiscard]] std::uint64_t tasks_reoffered() const { return tasks_reoffered_; }
+
+  // --- quantised-mode observability (all 0 unless run() executed under
+  // NetworkMode::kQuantisedFair; see core/workflow_shard) ---
+  [[nodiscard]] std::uint64_t quantised_barriers() const { return quantised_barriers_; }
+  [[nodiscard]] std::uint64_t quantised_drains() const { return quantised_drains_; }
+  [[nodiscard]] std::uint64_t quantised_parallel_windows() const {
+    return quantised_parallel_windows_;
+  }
 
  private:
   friend class SystemDispatchContext;
@@ -309,6 +341,9 @@ class GridSystem {
   std::uint64_t tasks_failed_ = 0;
   std::uint64_t tasks_rescheduled_ = 0;
   std::uint64_t tasks_reoffered_ = 0;
+  std::uint64_t quantised_barriers_ = 0;
+  std::uint64_t quantised_drains_ = 0;
+  std::uint64_t quantised_parallel_windows_ = 0;
   bool started_ = false;
 };
 

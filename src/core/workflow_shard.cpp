@@ -1,0 +1,240 @@
+#include "core/workflow_shard.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "grid/models/transfer_model_detail.hpp"
+#include "sim/shard_engine.hpp"
+
+namespace dpjit::core {
+namespace {
+
+// Message-key scheme: (kind << 62) | (barrier index << 16) | shard. Keys must
+// be globally unique (ShardEngine contract) and the kind field doubles as the
+// same-timestamp tiebreak at a barrier instant t = kE on shard 0:
+//   DONE (0)   - drain reports from the drives two epochs back fill the inbox,
+//   BARRIER(1) - then the barrier consumes the inbox and re-solves,
+//   DRIVE (2)  - then shard 0's own ledger drive applies the PREVIOUS
+//                barrier's delta (disjoint state, so the order with BARRIER
+//                is immaterial - but it must be deterministic).
+// 46 index bits cover ~2e13 barriers; 16 shard bits cover the ShardMap clamp.
+constexpr std::uint64_t kKindDone = 0;
+constexpr std::uint64_t kKindBarrier = 1;
+constexpr std::uint64_t kKindDrive = 2;
+
+std::uint64_t msg_key(std::uint64_t kind, std::uint64_t barrier_index, std::uint64_t shard) {
+  return (kind << 62) | (barrier_index << 16) | shard;
+}
+
+/// Ledger-side state of one in-flight flow: what is left and the epoch's
+/// frozen rate. The TransferManager deliberately does NOT advance its own
+/// remaining_mb in quantised mode - volume lives here and only here.
+struct LedgerFlow {
+  double remaining_mb = 0.0;
+  double rate_mbps = 0.0;
+};
+
+/// One shard's slice of a barrier delta (plain data; shipped by index through
+/// the double buffer, never through an event capture - InlineFn is 48 bytes).
+struct ShardDelta {
+  std::vector<grid::QuantisedJoin> joins;
+  std::vector<grid::QuantisedRateChange> rate_changes;
+  std::vector<std::uint64_t> cancels;
+
+  void clear() {
+    joins.clear();
+    rate_changes.clear();
+    cancels.clear();
+  }
+};
+
+/// Per-shard ledger plus its private counters. Only ever touched by events
+/// running on the owning shard's lane, so worker threads need no locks.
+struct Ledger {
+  std::unordered_map<std::uint64_t, LedgerFlow> flows;
+  std::uint64_t joins = 0;
+  std::uint64_t drains = 0;
+  std::uint64_t cancels = 0;
+};
+
+class QuantisedDriver {
+ public:
+  QuantisedDriver(sim::Engine& world, grid::TransferManager& tm, const ShardMap& map,
+                  double epoch_s, int threads, SimTime horizon)
+      : world_(world), tm_(tm), map_(map), epoch_(epoch_s), horizon_(horizon),
+        se_(map.shards, epoch_s), ledgers_(static_cast<std::size_t>(map.shards)) {
+    se_.set_threads(threads);
+    // Our windows hold ~2 events per shard, far under the generic threshold
+    // that targets dense scale-model windows; without this the drive/barrier
+    // overlap (the entire point of sharding this path) would never engage.
+    se_.set_parallel_threshold(2);
+    deltas_[0].resize(static_cast<std::size_t>(map.shards));
+    deltas_[1].resize(static_cast<std::size_t>(map.shards));
+  }
+
+  QuantisedRunStats run() {
+    se_.seed(0, 0.0, msg_key(kKindBarrier, 0, 0), [this] { barrier(0, 0.0); });
+    se_.run_until(horizon_);
+    // Tail flush: world events in (last barrier, horizon] when the horizon is
+    // not a barrier multiple. Flows still in flight simply do not complete -
+    // the same horizon cut-off the fluid mode applies.
+    world_.run_until(horizon_);
+    stats_.windows = se_.windows();
+    stats_.parallel_windows = se_.parallel_windows();
+    for (const Ledger& led : ledgers_) {
+      stats_.flows_joined += led.joins;
+      stats_.flows_drained += led.drains;
+      stats_.flows_cancelled += led.cancels;
+    }
+    return stats_;
+  }
+
+ private:
+  /// Epoch barrier B_k at t = kE (accumulated, not k * E: repeated addition
+  /// keeps every post() landing at EXACTLY now + window for any epoch).
+  void barrier(std::uint64_t k, double t) {
+    // 1. The world catches up to the barrier instant. All grid behaviour
+    // (scheduling cycles, gossip, churn, transfer starts/aborts) happens in
+    // here, on shard 0's lane - identical for every shard count.
+    world_.run_until(t);
+
+    // 2. Deliver the drains the drives reported for this instant. The global
+    // (finish_s, id) sort makes the callback order - and therefore every
+    // downstream world event - independent of how flows partition over
+    // ledgers. Owner entries die here: a later cancel for a delivered flow
+    // must not be routed (its ledger already dropped it).
+    std::sort(inbox_.begin(), inbox_.end(), [](const auto& a, const auto& b) {
+      return a.finish_s != b.finish_s ? a.finish_s < b.finish_s : a.id < b.id;
+    });
+    for (const auto& d : inbox_) owner_.erase(d.id);
+    tm_.quantised_deliver(inbox_);
+    inbox_.clear();
+
+    // 3. Admissions + the epoch's one frozen re-solve.
+    grid::QuantisedBarrierDelta delta = tm_.quantised_barrier();
+    ++stats_.barriers;
+
+    // 4. Partition the delta into per-shard slices (double-buffered on
+    // barrier parity: the drives reading slot k&1 at (k+1)E run concurrently
+    // with barrier k+1 writing slot (k+1)&1).
+    const int slot = static_cast<int>(k & 1);
+    std::vector<ShardDelta>& per = deltas_[static_cast<std::size_t>(slot)];
+    for (ShardDelta& sd : per) sd.clear();
+    for (const grid::QuantisedJoin& j : delta.joins) {
+      const int s = map_.shard(j.src);
+      owner_.emplace(j.id, s);
+      per[static_cast<std::size_t>(s)].joins.push_back(j);
+    }
+    for (const grid::QuantisedRateChange& rc : delta.rate_changes) {
+      // Unowned ids are flows already drained (removal pending delivery);
+      // their ledger entry is gone, so the change has nowhere to go.
+      if (const auto it = owner_.find(rc.id); it != owner_.end()) {
+        per[static_cast<std::size_t>(it->second)].rate_changes.push_back(rc);
+      }
+    }
+    for (const std::uint64_t id : delta.cancels) {
+      if (const auto it = owner_.find(id); it != owner_.end()) {
+        per[static_cast<std::size_t>(it->second)].cancels.push_back(id);
+        owner_.erase(it);
+      }
+    }
+
+    // 5. Ship the epoch. Drives always go out (an empty slice still advances
+    // that shard's in-flight flows); the chain stops once the next barrier
+    // would overshoot the horizon.
+    const double next_t = t + epoch_;
+    if (next_t > horizon_) return;
+    for (int s = 0; s < se_.shards(); ++s) {
+      se_.post(0, s, next_t, msg_key(kKindDrive, k, static_cast<std::uint64_t>(s)),
+               [this, s, slot, t, k] { drive(s, slot, t, k); });
+    }
+    se_.post(0, 0, next_t, msg_key(kKindBarrier, k + 1, 0),
+             [this, k, next_t] { barrier(k + 1, next_t); });
+  }
+
+  /// Ledger drive for barrier k's epoch [t, t + E), executing at t + E on
+  /// shard `s`'s lane (possibly a worker thread): apply the delta slice, then
+  /// one lazy integration pass over the shard's flows.
+  void drive(int s, int slot, double t, std::uint64_t k) {
+    Ledger& led = ledgers_[static_cast<std::size_t>(s)];
+    ShardDelta& delta = deltas_[static_cast<std::size_t>(slot)][static_cast<std::size_t>(s)];
+    for (const grid::QuantisedJoin& j : delta.joins) {
+      led.flows[j.id] = LedgerFlow{j.remaining_mb, j.rate_mbps};
+      ++led.joins;
+    }
+    for (const grid::QuantisedRateChange& rc : delta.rate_changes) {
+      if (const auto it = led.flows.find(rc.id); it != led.flows.end()) {
+        it->second.rate_mbps = rc.rate_mbps;
+      }
+    }
+    // Cancels last: a flow admitted and aborted at the same barrier arrives
+    // as join + cancel in one slice, and the cancel must win.
+    for (const std::uint64_t id : delta.cancels) led.cancels += led.flows.erase(id);
+
+    std::vector<grid::QuantisedDone> drained;
+    for (auto& [id, f] : led.flows) {
+      // The barrier's stall guard aborts zero-rate flows at admission and
+      // removals never lower surviving solver rates, so every ledger rate is
+      // strictly positive and the division below is safe.
+      if (f.remaining_mb - f.rate_mbps * epoch_ <= grid::detail::kEpsilonMb) {
+        const double finish = t + std::min(epoch_, f.remaining_mb / f.rate_mbps);
+        drained.push_back(grid::QuantisedDone{finish, id});
+      } else {
+        f.remaining_mb -= f.rate_mbps * epoch_;
+      }
+    }
+    if (drained.empty()) return;
+    // Pre-sort per shard (hash-order collection) so the report itself is
+    // deterministic; the barrier still re-sorts globally across shards.
+    std::sort(drained.begin(), drained.end(), [](const auto& a, const auto& b) {
+      return a.finish_s != b.finish_s ? a.finish_s < b.finish_s : a.id < b.id;
+    });
+    for (const auto& d : drained) led.flows.erase(d.id);
+    led.drains += drained.size();
+    // One report per (shard, epoch), delivered at (k+2)E - before barrier
+    // k+2's world advance by the DONE < BARRIER key ordering.
+    se_.post(s, 0, se_.now(s) + epoch_, msg_key(kKindDone, k, static_cast<std::uint64_t>(s)),
+             [this, drained = std::move(drained)] {
+               inbox_.insert(inbox_.end(), drained.begin(), drained.end());
+             });
+  }
+
+  sim::Engine& world_;
+  grid::TransferManager& tm_;
+  const ShardMap& map_;
+  double epoch_;
+  SimTime horizon_;
+  sim::ShardEngine se_;
+  std::vector<Ledger> ledgers_;
+  /// Barrier-parity double buffer of per-shard delta slices (see barrier()).
+  std::array<std::vector<ShardDelta>, 2> deltas_;
+  /// Shard-0 state: flow id -> owning ledger shard. Present exactly while the
+  /// ledger may hold the flow; the ROUTING decisions derived from it are
+  /// shard-count-invariant even though the mapped values are not.
+  std::unordered_map<std::uint64_t, int> owner_;
+  /// Shard-0 state: drains awaiting delivery at the next barrier.
+  std::vector<grid::QuantisedDone> inbox_;
+  QuantisedRunStats stats_;
+};
+
+}  // namespace
+
+double derive_quantised_epoch(const ShardMap& map, double requested_s) {
+  if (requested_s > 0.0) return requested_s;
+  constexpr double kFloorS = 60.0;
+  if (!std::isfinite(map.min_latency_s)) return kFloorS;  // < 2 nodes
+  return std::max(map.min_latency_s, kFloorS);
+}
+
+QuantisedRunStats run_quantised_transfers(sim::Engine& world, grid::TransferManager& tm,
+                                          const ShardMap& map, double epoch_s, int threads,
+                                          SimTime horizon) {
+  QuantisedDriver driver(world, tm, map, epoch_s, threads, horizon);
+  return driver.run();
+}
+
+}  // namespace dpjit::core

@@ -1,0 +1,67 @@
+// Sharded barrier driver for the epoch-quantised network mode: runs the
+// classic workflow path (core::GridSystem) on sim::ShardEngine.
+//
+// Topology of the run (S shards, epoch E == the engine window):
+//   - Shard 0 owns the WHOLE world: the serial sim::Engine with every grid
+//     event (gossip, churn, scheduling, task execution, transfer latency
+//     phases) plus the TransferManager/FairShareSolver. A barrier event B_k
+//     fires at t = kE: it advances the world engine to kE, delivers the
+//     globally (finish_s, id)-sorted drains reported two epochs earlier,
+//     executes TransferManager::quantised_barrier() (admissions + one frozen
+//     re-solve) and posts the resulting per-shard delta slices.
+//   - Shards 0..S-1 each own a flow LEDGER: {remaining volume, frozen rate}
+//     per in-flight flow whose source node lives in the shard's block of the
+//     core::ShardMap. A drive event at (k+1)E applies barrier k's delta
+//     (joins -> rate changes -> cancels, so a same-barrier cancel beats its
+//     own join) and integrates the epoch [kE, (k+1)E) in one O(shard flows)
+//     pass - the lazy advance that replaces fluid mode's O(flows) per
+//     mutation (ROADMAP item 3). Detected drains are posted back to shard 0
+//     as one message per (shard, epoch), arriving at (k+2)E.
+//
+// Every cross-shard interaction is a window-barrier message posted exactly
+// one epoch ahead, so the conservative-lookahead precondition of
+// ShardEngine::post holds by construction for ANY epoch length - the driver
+// never depends on the routed-latency lookahead. Ledger drives run on the
+// worker pool concurrently with the next barrier's world epoch; results are
+// byte-identical for any shard and thread count (the ShardEngine delivery
+// contract plus the global drain sort).
+//
+// The serial quantised simulation is NOT a separate code path: it is this
+// driver at shards = 1 (ShardEngine's serial special case).
+#pragma once
+
+#include <cstdint>
+
+#include "core/grid_system.hpp"
+
+namespace dpjit::core {
+
+/// Observability of one quantised barrier-loop run.
+struct QuantisedRunStats {
+  std::uint64_t barriers = 0;          ///< epoch barriers executed on shard 0
+  std::uint64_t windows = 0;           ///< ShardEngine windows driven
+  std::uint64_t parallel_windows = 0;  ///< windows that ran on the worker pool
+  std::uint64_t flows_joined = 0;      ///< ledger joins shipped by barriers
+  std::uint64_t flows_drained = 0;     ///< ledger-detected drains
+  std::uint64_t flows_cancelled = 0;   ///< mid-epoch aborts applied by ledgers
+};
+
+/// The epoch actually used for a run: `requested_s` when positive, otherwise
+/// max(map.min_latency_s, 60 s). The derived default keys off min_latency_s -
+/// NOT lookahead_s - because the former is shard-count-invariant, and the
+/// byte-identical-at-any-shard-count guarantee starts with an identical
+/// barrier schedule. The 60 s floor keeps WAN topologies (sub-millisecond
+/// routed latencies) from degenerating into millions of near-empty barriers.
+[[nodiscard]] double derive_quantised_epoch(const ShardMap& map, double requested_s);
+
+/// Drives `world` (a started GridSystem's engine) to `horizon` under the
+/// epoch-quantised network mode: `tm` must be the system's TransferManager in
+/// Mode::kQuantisedFair, `map` the system's shard_map(shards). Runs the
+/// barrier/ledger loop described above on a ShardEngine with window
+/// `epoch_s`, then flushes the world's tail events in (last barrier,
+/// horizon]. `threads` <= 0 means hardware concurrency.
+QuantisedRunStats run_quantised_transfers(sim::Engine& world, grid::TransferManager& tm,
+                                          const ShardMap& map, double epoch_s, int threads,
+                                          SimTime horizon);
+
+}  // namespace dpjit::core

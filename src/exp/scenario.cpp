@@ -148,6 +148,49 @@ ScenarioRegistry build_registry() {
              c.set_data_range(100, 10000);
            })});
 
+  // --- epoch-quantised fair sharing: the sharded contended mode ------------
+  // The net::NetworkModel seam's third mode (ROADMAP item 1): max-min rates
+  // frozen per epoch, re-solved only at barriers, volume advanced lazily by
+  // per-shard flow ledgers on sim::ShardEngine (core/workflow_shard). Same
+  // transfer-bound CCR as the contention/* family so the frozen-rate
+  // approximation is actually load-bearing; epochs are set explicitly here
+  // (60 s = one gossip-cycle fifth, 300 s = one full cycle) so the barrier
+  // schedule does not depend on the topology draw. Digests are byte-identical
+  // at ANY --shards/--threads setting - the shard-determinism CI job diffs
+  // several counts against the same golden entries.
+  reg.add({"quantised/fair-epoch60",
+           "epoch-quantised fair sharing, 60 s epochs: data-heavy CCR ~ 16 so concurrent "
+           "transfers contend, rates frozen between barriers, ledger-advanced volumes",
+           "", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.system.network_mode = net::NetworkMode::kQuantisedFair;
+             c.system.quantised_epoch_s = 60.0;
+             c.set_load_range(10, 1000);
+             c.set_data_range(100, 10000);
+           })});
+  reg.add({"quantised/aware-epoch300",
+           "contention-aware DSMF (dsmf-ca) on the quantised model, 300 s epochs: oracle "
+           "probes hit the barrier-frozen solver, cached per epoch via the barrier stamp",
+           "", RuntimeTier::kSlow, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.algorithm = "dsmf-ca";
+             c.system.network_mode = net::NetworkMode::kQuantisedFair;
+             c.system.quantised_epoch_s = 300.0;
+             c.set_load_range(10, 1000);
+             c.set_data_range(100, 10000);
+           })});
+  reg.add({"quantised/churn-epoch60",
+           "quantised fair sharing under churn (dynamic factor 0.2): mid-epoch mass aborts "
+           "race ledger drains - cancels beat joins, late drains are skipped",
+           "", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.system.network_mode = net::NetworkMode::kQuantisedFair;
+             c.system.quantised_epoch_s = 60.0;
+             c.dynamic_factor = 0.2;
+             c.set_load_range(10, 1000);
+             c.set_data_range(100, 10000);
+           })});
+
   // --- extension workloads beyond the paper --------------------------------
   reg.add({"open/poisson-arrivals",
            "open model: each home submits 4 workflows with exponential inter-arrivals "
@@ -362,14 +405,29 @@ ExperimentConfig conformance_preset(ExperimentConfig cfg) {
 std::uint64_t conformance_digest(const Scenario& scenario) { return conformance_digest(scenario, 1); }
 
 std::uint64_t conformance_digest(const Scenario& scenario, int shards) {
-  const ExperimentConfig cfg = conformance_preset(scenario.config());
+  return conformance_digest(scenario, shards, 1);
+}
+
+std::uint64_t conformance_digest(const Scenario& scenario, int shards, int threads) {
+  ExperimentConfig cfg = conformance_preset(scenario.config());
   if (scenario.sharded) {
     ScaleParams params = scale_params_from_config(cfg);
     params.shards = shards;
+    params.threads = threads;
     return scale_digest(run_scale_model(params));
   }
-  // Classic scenarios run the serial engine whatever `shards` says — see
-  // Scenario::sharded for why they cannot be partitioned conservatively.
+  if (cfg.effective_network_mode() == net::NetworkMode::kQuantisedFair) {
+    // Quantised classic scenarios shard through the epoch-barrier driver
+    // (core/workflow_shard): the digest is byte-identical at every shard and
+    // thread count, checked against the SAME golden entry by tests/scenario
+    // and the shard-determinism CI job.
+    cfg.system.shards = shards;
+    cfg.system.threads = threads;
+    return result_digest(run_experiment(cfg));
+  }
+  // Zero-lookahead classic scenarios run the serial engine whatever `shards`
+  // says — see Scenario::sharded for why they cannot be partitioned
+  // conservatively.
   return result_digest(run_experiment(cfg));
 }
 

@@ -1,10 +1,10 @@
-// Data movement between peer nodes.
+// Data movement between peer nodes, behind the net::NetworkModel seam.
 //
-// Two network models:
+// Three network modes (see net/network_model.hpp for the mode matrix):
 //  - kBottleneck (default, matches the paper's evaluation): a transfer takes
 //    latency(path) + size / bottleneck-bandwidth(path); transfers do not
 //    contend with each other.
-//  - kFairSharing (ablation): live fluid model where concurrent transfers
+//  - kFluidFair (ablation): live fluid model where concurrent transfers
 //    crossing a link share it max-min fairly (SimGrid-style progressive
 //    filling). Rates are re-solved incrementally through net::FairShareSolver
 //    whenever a flow starts or ends: only the affected bottleneck component
@@ -15,19 +15,34 @@
 //    completion event is armed from an incremental CompletionIndex (projected
 //    absolute finish times, re-keyed only for the flows each component
 //    re-solve actually updated) instead of a per-event O(active) scan.
+//    Machinery: models/fluid_fair.cpp.
+//  - kQuantisedFair: epoch-quantised max-min fair sharing, the
+//    lookahead-compatible contended mode (ROADMAP item 1). Rates are
+//    re-solved ONLY at epoch barriers and frozen in between; flows finishing
+//    their propagation phase queue as pending joins and enter the solver at
+//    the next barrier; remaining volume is advanced LAZILY once per epoch
+//    (per-shard flow ledgers in core/workflow_shard, not O(flows) per
+//    mutation like the fluid mode's eager advance - ROADMAP item 3 residue,
+//    fixed here for this mode only); completions are detected by the ledgers
+//    and delivered back through quantised_deliver() two barriers after the
+//    epoch in which they drained. Aborts (churn, link failure, task failure)
+//    fire immediately and leave the solver at once, but the frozen rates of
+//    surviving flows do not move until the next barrier. The manager itself
+//    schedules NO completion events in this mode - the barrier/ledger driver
+//    owns the clock. Machinery: models/quantised_fair.cpp.
 //
 // The manager also implements net::RateOracle: what-if transfer-rate and
 // transfer-time queries against the live network, consumed by the
-// contention-aware scheduling policies (see rate_oracle.hpp). Fair-mode
+// contention-aware scheduling policies (see rate_oracle.hpp). Contended-mode
 // probes are memoized per (src, dst) pair in an epoch-keyed cache: a cached
-// rate is valid exactly while the solver's mutation stamp and the manager's
-// link-state stamp both stand still, which holds for an entire scheduling
-// cycle (the engine runs no flow events mid-cycle), so every home node's
-// ranking pass shares one component solve per pair instead of paying
-// O(component) per candidate. Invalidation is by stamp comparison only -
-// cached answers are bit-identical to fresh probes by construction, and a
-// sampled debug assert plus the probe_cache differential test hold the cache
-// to that.
+// rate is valid exactly while the solver's mutation stamp, the manager's
+// link-state stamp AND (quantised mode) the epoch barrier stamp all stand
+// still, which holds for an entire scheduling cycle (the engine runs no flow
+// events mid-cycle), so every home node's ranking pass shares one component
+// solve per pair instead of paying O(component) per candidate. Invalidation
+// is by stamp comparison only - cached answers are bit-identical to fresh
+// probes by construction, and a sampled debug assert plus the probe_cache
+// differential test hold the cache to that.
 //
 // Transfers abort with success=false when either endpoint leaves the system,
 // or - when path tracking is on - when a link on their recorded route fails
@@ -42,23 +57,58 @@
 
 #include "grid/completion_index.hpp"
 #include "net/flow_sharing.hpp"
+#include "net/network_model.hpp"
 #include "net/rate_oracle.hpp"
 #include "net/routing.hpp"
 #include "sim/engine.hpp"
 
 namespace dpjit::grid {
 
+/// One flow admitted to the frozen-rate pool at a quantised barrier: the
+/// ledger-side initial state (remaining volume and the epoch's frozen rate).
+struct QuantisedJoin {
+  std::uint64_t id = 0;
+  NodeId src{};  ///< ledger-owner selector: flows live on shard(src)
+  double remaining_mb = 0.0;
+  double rate_mbps = 0.0;
+};
+
+/// A surviving flow whose frozen rate moved at a barrier re-solve.
+struct QuantisedRateChange {
+  std::uint64_t id = 0;
+  double rate_mbps = 0.0;
+};
+
+/// Everything the per-shard flow ledgers must learn at one epoch barrier.
+/// Entries are id-sorted; a flow aborted by a barrier-time stall shows up in
+/// `cancels` (possibly without ever having been joined - ledgers ignore
+/// unknown ids).
+struct QuantisedBarrierDelta {
+  std::vector<QuantisedJoin> joins;
+  std::vector<QuantisedRateChange> rate_changes;
+  std::vector<std::uint64_t> cancels;
+};
+
+/// One ledger-detected drain: the exact in-epoch finish time plus the flow.
+/// Deliveries are globally sorted by (finish_s, id) before callbacks fire, so
+/// the order is invariant to how drained flows partition across shards.
+struct QuantisedDone {
+  SimTime finish_s = 0.0;
+  std::uint64_t id = 0;
+};
+
 class TransferManager : public net::RateOracle {
  public:
-  enum class Mode { kBottleneck, kFairSharing };
+  /// The network-model seam: behaviour is selected per net/network_model.hpp.
+  using Mode = net::NetworkMode;
 
   /// Completion callback: success=false means the transfer was aborted.
   /// Move-only (fired at most once); small captures stay allocation-free.
   using CompletionFn = sim::InlineFunction<void(bool success)>;
 
   /// `track_paths` records the routed path of bottleneck-mode transfers so
-  /// link_state_changed can find them; fair mode always records paths. Off by
-  /// default: the path walk is pure overhead without a fault plan.
+  /// link_state_changed can find them; contended modes always record paths.
+  /// Off by default: the path walk is pure overhead without a fault plan.
   TransferManager(sim::Engine& engine, const net::Topology& topo, const net::Routing& routing,
                   Mode mode = Mode::kBottleneck, bool track_paths = false);
 
@@ -68,8 +118,9 @@ class TransferManager : public net::RateOracle {
   std::uint64_t start(NodeId src, NodeId dst, double size_mb, CompletionFn on_done);
 
   /// Aborts every in-flight transfer with an endpoint at `n` (node departure).
-  /// In fair-sharing mode all doomed flows leave the fluid pool with one
-  /// batched rate re-solve (id-ascending callback order).
+  /// In contended modes all doomed flows leave the pool with one batched rate
+  /// re-solve (id-ascending callback order); under quantised fairness the
+  /// surviving flows' frozen rates still only move at the next barrier.
   void node_left(NodeId n);
 
   /// Aborts one transfer by id; false if already completed.
@@ -91,18 +142,44 @@ class TransferManager : public net::RateOracle {
   [[nodiscard]] double total_delivered_mb() const { return delivered_mb_; }
   [[nodiscard]] Mode mode() const { return mode_; }
 
+  // --- quantised-fair barrier protocol (models/quantised_fair.cpp) ----------
+  // Driven by core::run_quantised_transfers; unit tests call it directly.
+  // Only valid in Mode::kQuantisedFair.
+
+  /// Executes one epoch barrier at the engine's current time: delivers
+  /// zero-size pending joins, admits the rest to the solver, re-freezes every
+  /// active flow's rate, aborts barrier-stalled (zero-rate) flows, and
+  /// returns the id-sorted delta the flow ledgers must apply for the coming
+  /// epoch. Bumps the barrier stamp the probe cache keys on.
+  [[nodiscard]] QuantisedBarrierDelta quantised_barrier();
+
+  /// Delivers ledger-detected drains (must be (finish_s, id)-sorted by the
+  /// caller): one batched solver removal, stats, then success callbacks.
+  /// Entries for flows aborted since detection are skipped.
+  void quantised_deliver(const std::vector<QuantisedDone>& done);
+
+  /// Barriers executed so far (the probe-cache epoch key in quantised mode).
+  [[nodiscard]] std::uint64_t barrier_stamp() const { return barrier_stamp_; }
+
+  /// Flows admitted to the frozen-rate pool and not yet delivered/aborted.
+  [[nodiscard]] std::size_t quantised_active() const;
+
+  /// Flows waiting (propagation done) to be admitted at the next barrier.
+  [[nodiscard]] std::size_t quantised_pending_joins() const;
+
   // --- net::RateOracle -------------------------------------------------------
 
   /// Rate a new src->dst transfer would get right now. Bottleneck mode: the
-  /// routed path's bottleneck bandwidth (flows never contend). Fair mode: a
-  /// side-effect-free what-if probe of the incremental max-min solver against
-  /// the current in-flight flow set, memoized per pair until the next solver
-  /// mutation or link-state change (see the class comment).
+  /// routed path's bottleneck bandwidth (flows never contend). Contended
+  /// modes: a side-effect-free what-if probe of the incremental max-min
+  /// solver against the current in-flight flow set, memoized per pair until
+  /// the next solver mutation, link-state change or (quantised) epoch
+  /// barrier (see the class comment).
   [[nodiscard]] double predicted_rate_mbps(NodeId src, NodeId dst) const override;
 
   /// latency(path) + size_mb / predicted_rate_mbps. 0 for loopback; +inf for
-  /// unreachable pairs and saturated (zero-rate) paths. In fair mode this
-  /// extrapolates the instantaneous allocation over the whole transfer.
+  /// unreachable pairs and saturated (zero-rate) paths. In contended modes
+  /// this extrapolates the instantaneous allocation over the whole transfer.
   [[nodiscard]] double expected_transfer_time_s(NodeId src, NodeId dst,
                                                 double size_mb) const override;
 
@@ -124,8 +201,8 @@ class TransferManager : public net::RateOracle {
   /// the cache layers - and a differential anchor for tests.
   [[nodiscard]] double predicted_rate_mbps_reference(NodeId src, NodeId dst) const;
 
-  /// Fair-mode probes answered from the cache / answered by a fresh solve
-  /// since construction (observability for tests and the perf harness).
+  /// Contended-mode probes answered from the cache / answered by a fresh
+  /// solve since construction (observability for tests and the perf harness).
   [[nodiscard]] std::uint64_t probe_cache_hits() const { return probe_cache_hits_; }
   [[nodiscard]] std::uint64_t probe_cache_misses() const { return probe_cache_misses_; }
 
@@ -135,15 +212,18 @@ class TransferManager : public net::RateOracle {
     NodeId dst;
     double size_mb = 0.0;
     double remaining_mb = 0.0;
-    double rate_mbps = 0.0;      ///< current allocated rate (fair mode)
-    std::vector<LinkId> links;   ///< route (fair mode always; bottleneck when tracked)
+    double rate_mbps = 0.0;      ///< current allocated rate (contended modes)
+    std::vector<LinkId> links;   ///< route (contended always; bottleneck when tracked)
     CompletionFn on_done;
-    /// Bottleneck-mode completion / fair-mode latency-phase event. Cleared
-    /// (kInvalidHandle) the moment the latency phase ends so no later path
-    /// can cancel a stale, potentially reused handle.
+    /// Bottleneck-mode completion / contended-mode latency-phase event.
+    /// Cleared (kInvalidHandle) the moment the latency phase ends so no later
+    /// path can cancel a stale, potentially reused handle.
     sim::EventQueue::Handle event = sim::EventQueue::kInvalidHandle;
-    bool latency_pending = false;  ///< fair mode: still in propagation delay
-    bool fluid = false;            ///< fair mode: joined the fluid pool
+    bool latency_pending = false;  ///< contended: still in propagation delay
+    bool fluid = false;            ///< contended: joined the (fluid/frozen) pool
+    /// Quantised: propagation done, waiting for the next barrier to be
+    /// admitted to the solver.
+    bool join_pending = false;
     /// CompletionIndex slab slot from the last upsert, passed back as a hint
     /// to skip the id hash lookup on re-key. Stale values are safe: the index
     /// validates the hint against the flow id before trusting it.
@@ -152,9 +232,11 @@ class TransferManager : public net::RateOracle {
 
   void finish(std::uint64_t id, bool success);
 
-  // --- fair-sharing machinery ---
+  // --- fluid-fair machinery (models/fluid_fair.cpp) ---
   void fair_flow_started(std::uint64_t id);
-  /// Integrates remaining_mb of every fluid flow up to engine time.
+  /// Integrates remaining_mb of every fluid flow up to engine time. The
+  /// eager O(flows)-per-mutation advance is fluid-mode only; quantised mode
+  /// advances lazily at epoch barriers (ROADMAP item 3).
   void fair_advance_to_now();
   /// Pulls solver_.updated() into the flows' rate_mbps and re-keys their
   /// next-completion projections (the only entries a component re-solve can
@@ -172,19 +254,28 @@ class TransferManager : public net::RateOracle {
   /// The armed completion event: delivers every flow that crossed the line.
   void fair_tick();
 
+  // --- quantised-fair machinery (models/quantised_fair.cpp) ---
+  /// Propagation phase over: queue the flow for admission at the next barrier.
+  void quantised_flow_ready(std::uint64_t id);
+  /// Aborts a sorted batch immediately (callbacks now, solver removal now,
+  /// ledger cancel queued for the next barrier); frozen rates do not move.
+  void quantised_resolve_batch(const std::vector<std::uint64_t>& ids, bool success);
+
   sim::Engine& engine_;
   const net::Topology& topo_;
   const net::Routing& routing_;
   Mode mode_;
   bool track_paths_;
-  // --- fair-mode probe cache (see class comment). Keyed (src << 32 | dst);
-  // valid while (solver mutation stamp, manager link stamp) both match the
-  // values captured when the cache was last cleared. `mutable`: the oracle
-  // interface is const and the cache is pure memoization - by the solver's
-  // probe-purity invariant a hit and a fresh probe are indistinguishable.
+  // --- contended-mode probe cache (see class comment). Keyed
+  // (src << 32 | dst); valid while (solver mutation stamp, manager link
+  // stamp, barrier stamp) all match the values captured when the cache was
+  // last cleared. `mutable`: the oracle interface is const and the cache is
+  // pure memoization - by the solver's probe-purity invariant a hit and a
+  // fresh probe are indistinguishable.
   mutable std::unordered_map<std::uint64_t, double> probe_cache_;
   mutable std::uint64_t probe_cache_solver_stamp_ = 0;
   mutable std::uint64_t probe_cache_link_stamp_ = 0;
+  mutable std::uint64_t probe_cache_barrier_stamp_ = 0;
   mutable std::uint64_t probe_cache_hits_ = 0;
   mutable std::uint64_t probe_cache_misses_ = 0;
   /// Bumped by link_state_changed for BOTH directions: Routing reroutes on
@@ -192,7 +283,7 @@ class TransferManager : public net::RateOracle {
   std::uint64_t link_stamp_ = 0;
   std::unordered_map<std::uint64_t, Flow> flows_;
   net::FairShareSolver solver_;
-  /// Fair mode: projected absolute finish per fluid flow, min-heap-ordered.
+  /// Fluid mode: projected absolute finish per fluid flow, min-heap-ordered.
   CompletionIndex next_completion_;
   /// Arming scratch: ids tied at the index minimum (usually exactly one).
   std::vector<std::uint64_t> tie_scratch_;
@@ -203,6 +294,14 @@ class TransferManager : public net::RateOracle {
   sim::EventQueue::Handle fair_event_ = sim::EventQueue::kInvalidHandle;
   bool fair_event_armed_ = false;
   SimTime fair_clock_ = 0.0;
+  // --- quantised-fair state ---
+  /// Flows whose propagation finished since the last barrier (may hold stale
+  /// ids of flows aborted before admission; admission re-checks).
+  std::vector<std::uint64_t> pending_joins_;
+  /// Ids the ledgers must drop at the next barrier (aborted mid-epoch).
+  std::vector<std::uint64_t> pending_cancels_;
+  /// Epoch barriers executed; part of the probe-cache key in quantised mode.
+  std::uint64_t barrier_stamp_ = 0;
 };
 
 }  // namespace dpjit::grid

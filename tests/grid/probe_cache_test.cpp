@@ -40,7 +40,7 @@ TEST_P(ProbeCache, BitIdenticalUnderRandomizedFlowChurn) {
   const auto topo = net::Topology::generate_waxman(params, topo_rng);
   const net::Routing routing(topo);
   sim::Engine engine;
-  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFluidFair);
 
   std::vector<std::uint64_t> live;
   double t = 0.0;
@@ -76,7 +76,7 @@ TEST_P(ProbeCache, BitIdenticalUnderLinkStateWaves) {
   const auto topo = net::Topology::generate_waxman(params, topo_rng);
   net::Routing routing(topo, /*threads=*/1);
   sim::Engine engine;
-  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFluidFair);
 
   std::vector<LinkId> downed;
   double t = 0.0;
@@ -122,7 +122,7 @@ TEST(ProbeCacheCounters, HitsRequireUnchangedStamps) {
                                                   {NodeId{1}, NodeId{2}, 10.0, 0.1}});
   net::Routing routing(topo, /*threads=*/1);
   sim::Engine engine;
-  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFluidFair);
 
   // First ask solves, second is served from the cache.
   EXPECT_DOUBLE_EQ(tm.predicted_rate_mbps(NodeId{0}, NodeId{2}), 10.0);
@@ -161,7 +161,7 @@ TEST(ProbeCacheBatch, ProbeRatesMatchesScalarAnswers) {
                                                   {NodeId{1}, NodeId{2}, 4.0, 0.1}});
   const net::Routing routing(topo);
   sim::Engine engine;
-  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFluidFair);
   tm.start(NodeId{0}, NodeId{2}, 1000.0, [](bool) {});
   engine.run_until(1.0);
 

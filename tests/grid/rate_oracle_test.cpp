@@ -36,7 +36,7 @@ TEST(RateOracle, FairModeProbesSeeLiveContention) {
   const auto topo = line_topology();
   const net::Routing routing(topo);
   sim::Engine engine;
-  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFluidFair);
   const net::RateOracle& oracle = tm;
 
   // Idle network: the probe reports the full path rate.
@@ -68,7 +68,7 @@ TEST(RateOracle, ProbesDoNotChangeFluidOutcomes) {
 
   auto run = [&](bool with_probes) {
     sim::Engine engine;
-    TransferManager tm(engine, topo, routing, TransferManager::Mode::kFairSharing);
+    TransferManager tm(engine, topo, routing, TransferManager::Mode::kFluidFair);
     std::vector<double> finish_times;
     for (int i = 0; i < 6; ++i) {
       const NodeId src{i % 2 == 0 ? 0 : 1};

@@ -19,7 +19,7 @@ TEST_P(TransferStress, EveryTransferResolvesExactlyOnce) {
   const auto topo = net::Topology::generate_waxman(params, topo_rng);
   const net::Routing routing(topo);
   sim::Engine engine;
-  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFluidFair);
 
   int resolved = 0;
   int succeeded = 0;
@@ -57,7 +57,7 @@ TEST_P(TransferStress, FairNeverBeatsDedicatedBottleneckTime) {
   const auto topo = net::Topology::generate_waxman(params, topo_rng);
   const net::Routing routing(topo);
   sim::Engine engine;
-  TransferManager fair(engine, topo, routing, TransferManager::Mode::kFairSharing);
+  TransferManager fair(engine, topo, routing, TransferManager::Mode::kFluidFair);
 
   struct Probe {
     NodeId src, dst;
@@ -99,7 +99,7 @@ TEST_P(TransferStress, ChurnTeardownResolvesEverythingExactlyOnce) {
   const auto topo = net::Topology::generate_waxman(params, topo_rng);
   const net::Routing routing(topo);
   sim::Engine engine;
-  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFluidFair);
 
   int resolved = 0;
   int succeeded = 0;

@@ -90,7 +90,7 @@ TEST(TransferBottleneck, ZeroSizeCostsLatencyOnly) {
 
 TEST(TransferFair, SingleFlowMatchesBottleneckModel) {
   Fixture f;
-  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFluidFair);
   double done_at = -1;
   tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool ok) {
     EXPECT_TRUE(ok);
@@ -102,7 +102,7 @@ TEST(TransferFair, SingleFlowMatchesBottleneckModel) {
 
 TEST(TransferFair, TwoFlowsShareTheLink) {
   Fixture f;
-  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFluidFair);
   std::vector<double> done;
   tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool) { done.push_back(f.engine.now()); });
   tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool) { done.push_back(f.engine.now()); });
@@ -115,7 +115,7 @@ TEST(TransferFair, TwoFlowsShareTheLink) {
 
 TEST(TransferFair, ShortFlowReleasesBandwidth) {
   Fixture f;
-  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFluidFair);
   std::vector<std::pair<int, double>> done;
   tm.start(NodeId{0}, NodeId{2}, 20.0, [&](bool) { done.emplace_back(0, f.engine.now()); });
   tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool) { done.emplace_back(1, f.engine.now()); });
@@ -134,7 +134,7 @@ TEST(TransferFair, FirstFlowStartedLateIntegratesNoBogusWindow) {
   // joins at t >> 0 must sync the clock before integrating, otherwise the
   // first recompute charges a bogus [0, now] window against the flow.
   Fixture f;
-  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFluidFair);
   double done_at = -1;
   f.engine.schedule_at(500.0, [&] {
     tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool ok) {
@@ -152,7 +152,7 @@ TEST(TransferFair, SecondFluidEpochAfterIdleGapStaysExact) {
   // on with no fluid flows, then a new flow joins. The idle gap must not be
   // integrated against the newcomer.
   Fixture f;
-  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFluidFair);
   std::vector<double> done;
   tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool) { done.push_back(f.engine.now()); });
   f.engine.schedule_at(300.0, [&] {
@@ -172,7 +172,7 @@ TEST(TransferFair, ZeroCapacityLinkAbortsInsteadOfStalling) {
   auto topo = net::Topology::from_links(3, {{NodeId{0}, NodeId{1}, 0.0, 1.0},
                                             {NodeId{1}, NodeId{2}, 10.0, 1.0}});
   net::Routing routing(topo);
-  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFluidFair);
   int resolved = 0;
   bool dead_ok = true;
   tm.start(NodeId{0}, NodeId{2}, 100.0, [&](bool ok) {
@@ -216,7 +216,7 @@ TEST(TransferFair, SubUlpRemainingDeliversInsteadOfLivelocking) {
   sim::Engine engine;
   auto topo = net::Topology::from_links(2, {{NodeId{0}, NodeId{1}, 1000.0, 1.0}});
   net::Routing routing(topo);
-  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(engine, topo, routing, TransferManager::Mode::kFluidFair);
   int done = 0;
   engine.schedule_at(131072.0, [&] {
     tm.start(NodeId{0}, NodeId{1}, 500.0 + 5e-9, [&](bool ok) {
@@ -238,7 +238,7 @@ TEST(TransferFair, AbortAfterLatencyPhaseUsesNoStaleHandle) {
   // flow turns fluid; finish() then has nothing to cancel (a stale cancel
   // could hit a reused slot). Schedule unrelated events to churn the slab.
   Fixture f;
-  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFluidFair);
   bool ok = true;
   const auto id = tm.start(NodeId{0}, NodeId{2}, 1000.0, [&](bool success) { ok = success; });
   int unrelated_fired = 0;
@@ -257,7 +257,7 @@ TEST(TransferFair, NodeLeftTearsDownAllPhasesInOneBatch) {
   // node_left must abort fluid, latency-phase and loopback flows touching
   // the node, in one batched teardown, without disturbing other flows.
   Fixture f;
-  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFluidFair);
   int failures = 0;
   double survivor_done_at = -1;
   // Fluid by t=5 (latency 2 s).
@@ -285,7 +285,7 @@ TEST(TransferFair, NodeLeftTearsDownAllPhasesInOneBatch) {
 
 TEST(TransferFair, AbortRestoresBandwidth) {
   Fixture f;
-  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFairSharing);
+  TransferManager tm(f.engine, f.topo, f.routing, TransferManager::Mode::kFluidFair);
   double done_at = -1;
   const auto doomed =
       tm.start(NodeId{0}, NodeId{2}, 1000.0, [&](bool ok) { EXPECT_FALSE(ok); });
