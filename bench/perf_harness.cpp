@@ -1,6 +1,6 @@
 // Performance-regression harness for the simulation hot path.
 //
-// Times eight things and emits one JSON document (see BENCH_*.json for the
+// Times nine things and emits one JSON document (see BENCH_*.json for the
 // recorded baseline-vs-current numbers):
 //   1. EventQueue micro-ops (schedule/pop and schedule/cancel throughput),
 //      both for the current sim::EventQueue and for a frozen copy of the
@@ -39,7 +39,15 @@
 //      solver's recorded-schedule replay, no pair cache), and cached (the
 //      TransferManager's epoch-keyed probe cache on top). All three answers
 //      are asserted bit-identical before timing; probe_cache_speedup is the
-//      cached-vs-reference ratio - the full cost drop a scheduling cycle saw.
+//      cached-vs-reference ratio - the full cost drop a scheduling cycle saw;
+//   9. the heavy-traffic open stream (trace/open-stream-1m: 125k fitted jobs,
+//      >= 1M submitted tasks) run twice, once with the O(1)-memory streaming
+//      metrics collector and once retaining every report. The two result
+//      digests must be identical (the collector-equivalence contract), the
+//      streaming run's live report count must stay within the reservoir
+//      bound, and the wall-clock ratio is recorded as
+//      streaming_metrics.tasks_per_s_ratio (~1.0: the collector must not tax
+//      the hot path).
 //
 // Usage: perf_harness [--quick] [--nodes=500] [--ops=6000000] [--seed=1]
 //                     [--tflows=1000] [--tcomps=600] [--acomps=10000]
@@ -59,7 +67,9 @@
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "exp/metrics.hpp"
 #include "exp/scale_model.hpp"
+#include "exp/scenario.hpp"
 #include "grid/transfer_manager.hpp"
 #include "net/network_model.hpp"
 #include "net/routing.hpp"
@@ -703,7 +713,7 @@ int main(int argc, char** argv) {
   auto median3 = [](double a, double b, double c) {
     return std::max(std::min(a, b), std::min(std::max(a, b), c));
   };
-  std::fprintf(stderr, "[1/8] event-queue micro-ops (%zu ops/run)...\n", ops);
+  std::fprintf(stderr, "[1/9] event-queue micro-ops (%zu ops/run)...\n", ops);
   double base_sp[3], cur_sp[3], base_sc[3], cur_sc[3];
   for (int r = 0; r < 3; ++r) {
     base_sp[r] = bench_schedule_pop<BaselineEventQueue>(ops, sink);
@@ -717,7 +727,7 @@ int main(int argc, char** argv) {
   const double current_cancel = median3(cur_sc[0], cur_sc[1], cur_sc[2]);
 
   // --- 2. Routing construction ---------------------------------------------
-  std::fprintf(stderr, "[2/8] routing build (n=%d)...\n", nodes);
+  std::fprintf(stderr, "[2/9] routing build (n=%d)...\n", nodes);
   util::Rng topo_rng(seed);
   net::TopologyParams tp;
   tp.node_count = nodes;
@@ -740,7 +750,7 @@ int main(int argc, char** argv) {
   // --- 3. Transfer-heavy fair-sharing benchmarks ----------------------------
   // Fixed 128-node topology regardless of --nodes: the metric is flow-event
   // throughput at --tflows concurrent fluid flows, not topology scale.
-  std::fprintf(stderr, "[3/8] fair-sharing transfers (%zu concurrent, %llu completions)...\n",
+  std::fprintf(stderr, "[3/9] fair-sharing transfers (%zu concurrent, %llu completions)...\n",
                tflows, static_cast<unsigned long long>(tcomps));
   double base_steady = 0.0, cur_steady = 0.0, base_teardown = 0.0, cur_teardown = 0.0;
   {
@@ -772,7 +782,7 @@ int main(int argc, char** argv) {
   // --- 4. Next-completion arming (scan vs CompletionIndex) ------------------
   // 512 disjoint pairs so the solver work per event is O(1): what remains is
   // the per-flow passes, isolating the arming strategy the index replaced.
-  std::fprintf(stderr, "[4/8] next-completion arming (%zu flows, %llu completions)...\n",
+  std::fprintf(stderr, "[4/9] next-completion arming (%zu flows, %llu completions)...\n",
                tflows, static_cast<unsigned long long>(acomps));
   double scan_arming = 0.0, index_arming = 0.0;
   {
@@ -788,7 +798,7 @@ int main(int argc, char** argv) {
   }
 
   // --- 5. End-to-end fig11-style run ---------------------------------------
-  std::fprintf(stderr, "[5/8] end-to-end dsmf run (n=%d, 36 h horizon)...\n", nodes);
+  std::fprintf(stderr, "[5/9] end-to-end dsmf run (n=%d, 36 h horizon)...\n", nodes);
   exp::ExperimentConfig cfg;
   cfg.algorithm = "dsmf";
   cfg.nodes = nodes;
@@ -803,7 +813,7 @@ int main(int argc, char** argv) {
   // exist; --quick only shortens the horizon so per-window density - and
   // with it the speedup being measured - stays comparable.
   const auto speers = static_cast<int>(cli.get_int("speers", 200000));
-  std::fprintf(stderr, "[6/8] shard engine scale model (%d peers, shards 1 vs 4)...\n", speers);
+  std::fprintf(stderr, "[6/9] shard engine scale model (%d peers, shards 1 vs 4)...\n", speers);
   exp::ScaleParams sp;
   sp.peers = speers;
   sp.horizon_s = quick ? 120.0 : 600.0;
@@ -828,7 +838,7 @@ int main(int argc, char** argv) {
   // the barrier loop on a serial ShardEngine, shards=4/threads=2 fans the
   // flow ledgers out to the worker pool. result_digest excludes wall time and
   // counts world-engine events only, so the two digests must match exactly.
-  std::fprintf(stderr, "[7/8] quantised workflow shard (n=%d, shards 1 vs 4, 2 threads)...\n",
+  std::fprintf(stderr, "[7/9] quantised workflow shard (n=%d, shards 1 vs 4, 2 threads)...\n",
                nodes);
   exp::ExperimentConfig qcfg = cfg;
   qcfg.system.network_mode = net::NetworkMode::kQuantisedFair;
@@ -864,7 +874,7 @@ int main(int argc, char** argv) {
   const auto uprobes = static_cast<std::uint64_t>(cli.get_int("uprobes", quick ? 50000 : 200000));
   const auto cprobes = static_cast<std::uint64_t>(cli.get_int("cprobes", quick ? 400000 : 2000000));
   std::fprintf(stderr,
-               "[8/8] oracle probe cache (%zu flows, %llu reference / %llu uncached / %llu cached "
+               "[8/9] oracle probe cache (%zu flows, %llu reference / %llu uncached / %llu cached "
                "probes)...\n",
                tflows, static_cast<unsigned long long>(rprobes),
                static_cast<unsigned long long>(uprobes),
@@ -919,6 +929,64 @@ int main(int argc, char** argv) {
   }
   const double probe_cache_speedup = cached_probes_per_s / std::max(reference_probes_per_s, 1e-9);
   const double probe_replay_speedup = uncached_probes_per_s / std::max(reference_probes_per_s, 1e-9);
+
+  // --- 9. Heavy-traffic open stream, streaming vs retaining metrics ---------
+  // trace/open-stream-1m at full scale: 125k fitted jobs of >= 8 tasks, a
+  // million-task arrival stream against 200 nodes' service capacity. Run A
+  // keeps the scenario's O(1)-memory streaming collector; run B flips
+  // streaming_metrics off and retains every report. The digests must match
+  // bit-for-bit (the collector-equivalence contract the trace test tier pins
+  // per-report; this is the end-to-end seal at nightly scale), and the
+  // dispatch-throughput ratio is the watched number: the sketches must not
+  // tax the hot path.
+  exp::ExperimentConfig scfg = exp::scenario_registry().at("trace/open-stream-1m").config();
+  if (quick) scfg.trace.synth_jobs = 25000;  // same stream shape, shorter soak
+  std::fprintf(stderr, "[9/9] streaming metrics open stream (%zu jobs, streaming vs retaining)...\n",
+               scfg.trace.synth_jobs);
+  // Best-of-2 per collector, interleaved, so allocator/page-cache state left
+  // behind by the first pass doesn't bias whichever collector runs first.
+  exp::ExperimentResult sm_streaming, sm_retaining;
+  double sm_s_wall = std::numeric_limits<double>::infinity();
+  double sm_r_wall = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < 2; ++r) {
+    scfg.streaming_metrics = true;
+    const double s_t0 = now_s();
+    sm_streaming = exp::run_experiment(scfg);
+    sm_s_wall = std::min(sm_s_wall, now_s() - s_t0);
+    scfg.streaming_metrics = false;
+    const double r_t0 = now_s();
+    sm_retaining = exp::run_experiment(scfg);
+    sm_r_wall = std::min(sm_r_wall, now_s() - r_t0);
+  }
+  const std::uint64_t sm_digest = exp::result_digest(sm_streaming);
+  if (sm_digest != exp::result_digest(sm_retaining)) {
+    std::cerr << "perf_harness: streaming-metrics digest diverged from retaining ("
+              << sm_digest << " != " << exp::result_digest(sm_retaining)
+              << "): the collector perturbed the simulation\n";
+    return 1;
+  }
+  if (!quick &&
+      sm_streaming.workflows_submitted * static_cast<std::size_t>(scfg.trace.min_tasks_per_job) <
+          1000000u) {
+    std::cerr << "perf_harness: open-stream-1m submitted fewer than 1M tasks ("
+              << sm_streaming.workflows_submitted << " workflows x "
+              << scfg.trace.min_tasks_per_job << " min tasks)\n";
+    return 1;
+  }
+  if (sm_streaming.live_reports > exp::StreamingMetricsCollector::kDefaultReservoir) {
+    std::cerr << "perf_harness: streaming run retained " << sm_streaming.live_reports
+              << " reports, above the reservoir bound "
+              << exp::StreamingMetricsCollector::kDefaultReservoir << "\n";
+    return 1;
+  }
+  if (sm_retaining.live_reports != static_cast<std::size_t>(sm_retaining.workflows_finished)) {
+    std::cerr << "perf_harness: retaining run holds " << sm_retaining.live_reports
+              << " reports but finished " << sm_retaining.workflows_finished << " workflows\n";
+    return 1;
+  }
+  const double sm_s_tasks_per_s = static_cast<double>(sm_streaming.tasks_dispatched) / sm_s_wall;
+  const double sm_r_tasks_per_s = static_cast<double>(sm_retaining.tasks_dispatched) / sm_r_wall;
+  const double sm_ratio = sm_s_tasks_per_s / std::max(sm_r_tasks_per_s, 1e-9);
 
   // --- emit ----------------------------------------------------------------
   std::ostringstream json;
@@ -1012,6 +1080,22 @@ int main(int argc, char** argv) {
     w.kv("probe_replay_speedup", probe_replay_speedup);
     w.kv("probe_cache_speedup", probe_cache_speedup);
     w.end_object();
+    w.key("streaming_metrics").begin_object();
+    w.kv("scenario", "trace/open-stream-1m");
+    w.kv("jobs", static_cast<std::uint64_t>(scfg.trace.synth_jobs));
+    w.kv("min_tasks_per_job", static_cast<std::int64_t>(scfg.trace.min_tasks_per_job));
+    w.kv("workflows_submitted", static_cast<std::uint64_t>(sm_streaming.workflows_submitted));
+    w.kv("workflows_finished", static_cast<std::uint64_t>(sm_streaming.workflows_finished));
+    w.kv("tasks_dispatched", sm_streaming.tasks_dispatched);
+    w.kv("live_reports_streaming", static_cast<std::uint64_t>(sm_streaming.live_reports));
+    w.kv("live_reports_retaining", static_cast<std::uint64_t>(sm_retaining.live_reports));
+    w.kv("streaming_wall_s", sm_s_wall);
+    w.kv("retaining_wall_s", sm_r_wall);
+    w.kv("streaming_tasks_per_s", sm_s_tasks_per_s);
+    w.kv("retaining_tasks_per_s", sm_r_tasks_per_s);
+    w.kv("tasks_per_s_ratio", sm_ratio);
+    w.kv("result_digest", sm_digest);
+    w.end_object();
     w.end_object();
   }
   json << "\n";
@@ -1039,7 +1123,9 @@ int main(int argc, char** argv) {
                "shard engine %d peers: serial %.2f s vs 4-shard %.2f s (%.2fx, digest ok)\n"
                "quantised workflow n=%d: serial %.2f s vs 4-shard %.2f s (%.2fx, digest ok)\n"
                "oracle probes ref %.0f -> replay %.0f -> cached %.0f probes/s (%.0fx, "
-               "bit-identical)\n",
+               "bit-identical)\n"
+               "streaming metrics %zu jobs: %.0f vs %.0f tasks/s (ratio %.2f, %zu live reports, "
+               "digest ok)\n",
                baseline_pop, current_pop, current_pop / baseline_pop, baseline_cancel,
                current_cancel, current_cancel / baseline_cancel, nodes, routing_ms, base_steady,
                cur_steady, cur_steady / base_steady, base_teardown, cur_teardown,
@@ -1051,6 +1137,7 @@ int main(int argc, char** argv) {
                scale_serial.wall_s / std::max(scale_sharded.wall_s, 1e-9), nodes, q_serial_wall,
                q_sharded_wall, q_serial_wall / std::max(q_sharded_wall, 1e-9),
                reference_probes_per_s, uncached_probes_per_s, cached_probes_per_s,
-               probe_cache_speedup);
+               probe_cache_speedup, scfg.trace.synth_jobs, sm_s_tasks_per_s, sm_r_tasks_per_s,
+               sm_ratio, sm_streaming.live_reports);
   return sink == 0xdeadbeef ? 2 : 0;
 }

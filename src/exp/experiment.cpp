@@ -6,7 +6,7 @@
 namespace dpjit::exp {
 
 ExperimentResult summarize(const World& world, double wall_seconds) {
-  const auto& metrics = world.metrics();
+  const auto& metrics = world.collector();
   const auto& system = world.system();
   ExperimentResult r;
   r.algorithm = world.config().algorithm;
@@ -23,6 +23,10 @@ ExperimentResult summarize(const World& world, double wall_seconds) {
   r.ae_over_time = metrics.ae_curve();
   r.converged_rss_size = metrics.converged_rss_size();
   r.converged_idle_known = metrics.converged_idle_known();
+  r.ct_p50 = metrics.ct_quantile(0.50);
+  r.ct_p95 = metrics.ct_quantile(0.95);
+  r.ct_p99 = metrics.ct_quantile(0.99);
+  r.live_reports = metrics.live_reports();
   r.tasks_dispatched = system.tasks_dispatched();
   r.tasks_failed = system.tasks_failed();
   r.tasks_rescheduled = system.tasks_rescheduled();

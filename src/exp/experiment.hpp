@@ -30,6 +30,15 @@ struct ExperimentResult {
 
   double converged_rss_size = 0.0;
   double converged_idle_known = 0.0;
+  /// Completion-time quantiles: exact under the retaining collector,
+  /// t-digest estimates under streaming_metrics. NaN when nothing finished.
+  /// NOT part of result_digest (the estimates are collector-dependent).
+  double ct_p50 = 0.0;
+  double ct_p95 = 0.0;
+  double ct_p99 = 0.0;
+  /// Per-workflow report records held live at the end of the run: finished()
+  /// for the retaining collector, <= the reservoir bound for streaming.
+  std::size_t live_reports = 0;
   std::uint64_t tasks_dispatched = 0;
   std::uint64_t tasks_failed = 0;
   std::uint64_t tasks_rescheduled = 0;

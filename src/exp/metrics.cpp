@@ -3,8 +3,24 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace dpjit::exp {
+
+std::size_t curve_bucket_count(double horizon_s, double bucket_s) {
+  return static_cast<std::size_t>(std::ceil(horizon_s / bucket_s));
+}
+
+std::size_t curve_bucket_index(double finish_s, double horizon_s, double bucket_s,
+                               std::size_t buckets) {
+  // A workflow finishing at (or somehow past) the horizon belongs to the
+  // final bucket regardless of whether the horizon divides evenly into
+  // buckets — floor(horizon / bucket) alone puts an exact-horizon finish into
+  // an interior bucket whenever horizon is not a bucket multiple.
+  if (finish_s >= horizon_s) return buckets;
+  const auto b = static_cast<std::size_t>(std::max(finish_s, 0.0) / bucket_s);
+  return std::min(b, buckets);
+}
 
 MetricsCollector::MetricsCollector(double horizon_s, double bucket_s)
     : horizon_(horizon_s), bucket_(bucket_s) {
@@ -42,21 +58,43 @@ double MetricsCollector::mean_response() const {
   return sum / static_cast<double>(reports_.size());
 }
 
-std::vector<CurvePoint> MetricsCollector::throughput_curve() const {
-  const auto buckets = static_cast<std::size_t>(std::ceil(horizon_ / bucket_));
-  std::vector<CurvePoint> curve(buckets + 1);
-  std::vector<std::size_t> finished_in(buckets + 1, 0);
-  for (const auto& r : reports_) {
-    auto b = static_cast<std::size_t>(std::max(r.finish_time, 0.0) / bucket_);
-    b = std::min(b, buckets);
-    ++finished_in[b];
-  }
+namespace {
+
+/// Cumulative-curve assembly shared by both collectors: per-bucket counts
+/// (and optional sums) -> one CurvePoint per bucket.
+std::vector<CurvePoint> count_curve(const std::vector<std::size_t>& finished_in, double bucket) {
+  std::vector<CurvePoint> curve(finished_in.size());
   std::size_t cum = 0;
-  for (std::size_t b = 0; b <= buckets; ++b) {
+  for (std::size_t b = 0; b < finished_in.size(); ++b) {
     cum += finished_in[b];
-    curve[b] = CurvePoint{static_cast<SimTime>(b + 1) * bucket_, static_cast<double>(cum)};
+    curve[b] = CurvePoint{static_cast<SimTime>(b + 1) * bucket, static_cast<double>(cum)};
   }
   return curve;
+}
+
+std::vector<CurvePoint> mean_curve(const std::vector<double>& sum_in,
+                                   const std::vector<std::size_t>& n_in, double bucket) {
+  std::vector<CurvePoint> curve(sum_in.size());
+  double cum_sum = 0.0;
+  std::size_t cum_n = 0;
+  for (std::size_t b = 0; b < sum_in.size(); ++b) {
+    cum_sum += sum_in[b];
+    cum_n += n_in[b];
+    curve[b] = CurvePoint{static_cast<SimTime>(b + 1) * bucket,
+                          cum_n == 0 ? 0.0 : cum_sum / static_cast<double>(cum_n)};
+  }
+  return curve;
+}
+
+}  // namespace
+
+std::vector<CurvePoint> MetricsCollector::throughput_curve() const {
+  const std::size_t buckets = curve_bucket_count(horizon_, bucket_);
+  std::vector<std::size_t> finished_in(buckets + 1, 0);
+  for (const auto& r : reports_) {
+    ++finished_in[curve_bucket_index(r.finish_time, horizon_, bucket_, buckets)];
+  }
+  return count_curve(finished_in, bucket_);
 }
 
 namespace {
@@ -64,25 +102,15 @@ namespace {
 std::vector<CurvePoint> cumulative_mean_curve(const std::vector<core::WorkflowReport>& reports,
                                               double horizon, double bucket,
                                               double (core::WorkflowReport::*metric)() const) {
-  const auto buckets = static_cast<std::size_t>(std::ceil(horizon / bucket));
+  const std::size_t buckets = curve_bucket_count(horizon, bucket);
   std::vector<double> sum_in(buckets + 1, 0.0);
   std::vector<std::size_t> n_in(buckets + 1, 0);
   for (const auto& r : reports) {
-    auto b = static_cast<std::size_t>(std::max(r.finish_time, 0.0) / bucket);
-    b = std::min(b, buckets);
+    const std::size_t b = curve_bucket_index(r.finish_time, horizon, bucket, buckets);
     sum_in[b] += (r.*metric)();
     ++n_in[b];
   }
-  std::vector<CurvePoint> curve(buckets + 1);
-  double cum_sum = 0.0;
-  std::size_t cum_n = 0;
-  for (std::size_t b = 0; b <= buckets; ++b) {
-    cum_sum += sum_in[b];
-    cum_n += n_in[b];
-    curve[b] = CurvePoint{static_cast<SimTime>(b + 1) * bucket,
-                          cum_n == 0 ? 0.0 : cum_sum / static_cast<double>(cum_n)};
-  }
-  return curve;
+  return mean_curve(sum_in, n_in, bucket);
 }
 
 }  // namespace
@@ -120,5 +148,92 @@ double MetricsCollector::converged_rss_size() const {
 double MetricsCollector::converged_idle_known() const {
   return tail_mean(samples_, &core::CycleSample::mean_idle_known);
 }
+
+double MetricsCollector::ct_quantile(double q) const {
+  std::vector<double> cts;
+  cts.reserve(reports_.size());
+  for (const auto& r : reports_) cts.push_back(r.completion_time());
+  return util::percentile(std::move(cts), q);
+}
+
+// --- streaming ---------------------------------------------------------------
+
+StreamingMetricsCollector::StreamingMetricsCollector(double horizon_s, util::Rng reservoir_rng,
+                                                     double bucket_s, double compression,
+                                                     std::size_t reservoir_capacity)
+    : horizon_(horizon_s),
+      bucket_(bucket_s),
+      buckets_(0),
+      tail_start_(0.75 * horizon_s),
+      ct_digest_(compression),
+      reservoir_(reservoir_capacity, std::move(reservoir_rng)) {
+  if (horizon_s <= 0.0 || bucket_s <= 0.0) {
+    throw std::invalid_argument("StreamingMetricsCollector: horizon/bucket must be > 0");
+  }
+  buckets_ = curve_bucket_count(horizon_, bucket_);
+  finished_in_.assign(buckets_ + 1, 0);
+  ct_sum_in_.assign(buckets_ + 1, 0.0);
+  eff_sum_in_.assign(buckets_ + 1, 0.0);
+}
+
+void StreamingMetricsCollector::on_workflow_finished(const core::WorkflowReport& report) {
+  ++finished_;
+  const double ct = report.completion_time();
+  const double eff = report.efficiency();
+  ct_sum_ += ct;
+  eff_sum_ += eff;
+  resp_sum_ += report.response_time();
+
+  const std::size_t b = curve_bucket_index(report.finish_time, horizon_, bucket_, buckets_);
+  ++finished_in_[b];
+  ct_sum_in_[b] += ct;
+  eff_sum_in_[b] += eff;
+
+  ct_digest_.add(ct);
+  reservoir_.add(report);
+}
+
+void StreamingMetricsCollector::on_cycle(const core::CycleSample& sample) {
+  ++cycles_seen_;
+  if (sample.time >= tail_start_) {
+    tail_rss_sum_ += sample.mean_rss_size;
+    tail_idle_sum_ += sample.mean_idle_known;
+    ++tail_n_;
+  }
+}
+
+double StreamingMetricsCollector::act() const {
+  return finished_ == 0 ? 0.0 : ct_sum_ / static_cast<double>(finished_);
+}
+
+double StreamingMetricsCollector::ae() const {
+  return finished_ == 0 ? 0.0 : eff_sum_ / static_cast<double>(finished_);
+}
+
+double StreamingMetricsCollector::mean_response() const {
+  return finished_ == 0 ? 0.0 : resp_sum_ / static_cast<double>(finished_);
+}
+
+std::vector<CurvePoint> StreamingMetricsCollector::throughput_curve() const {
+  return count_curve(finished_in_, bucket_);
+}
+
+std::vector<CurvePoint> StreamingMetricsCollector::act_curve() const {
+  return mean_curve(ct_sum_in_, finished_in_, bucket_);
+}
+
+std::vector<CurvePoint> StreamingMetricsCollector::ae_curve() const {
+  return mean_curve(eff_sum_in_, finished_in_, bucket_);
+}
+
+double StreamingMetricsCollector::converged_rss_size() const {
+  return tail_n_ == 0 ? 0.0 : tail_rss_sum_ / static_cast<double>(tail_n_);
+}
+
+double StreamingMetricsCollector::converged_idle_known() const {
+  return tail_n_ == 0 ? 0.0 : tail_idle_sum_ / static_cast<double>(tail_n_);
+}
+
+double StreamingMetricsCollector::ct_quantile(double q) const { return ct_digest_.quantile(q); }
 
 }  // namespace dpjit::exp

@@ -1,0 +1,20 @@
+// The bundled anonymized sample trace, embedded as a string constant so the
+// trace/* scenario transforms stay pure (a Scenario transform must be a pure
+// function of its config — no filesystem reads). The same bytes are written
+// to tests/data/sample.swf for the parser fixtures; the round-trip test pins
+// the two copies against each other through the parser.
+#pragma once
+
+#include <string_view>
+
+namespace dpjit::exp {
+
+/// A small SWF job log: 48 jobs from 6 (anonymized) owners over ~8 hours,
+/// with the bursty per-owner submission clusters of real grid traces.
+[[nodiscard]] std::string_view sample_swf_trace();
+
+/// A small GWA job log (29 columns, '#' comments): 24 jobs from 4 owners
+/// over ~6 hours. The trace/gwa-replay scenario replays it directly.
+[[nodiscard]] std::string_view sample_gwa_trace();
+
+}  // namespace dpjit::exp

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "exp/sample_trace.hpp"
 #include "exp/scale_model.hpp"
 
 namespace dpjit::exp {
@@ -319,6 +320,53 @@ ScenarioRegistry build_registry() {
              c.system.transfer_retry.max_attempts = 4;
            })});
 
+  // --- trace-driven workloads (ROADMAP item 2) -----------------------------
+  // Jobs come from imported SWF/GWA logs instead of the synthetic arrival
+  // models: either replayed one-for-one (arrival times, per-owner homes,
+  // processor counts and runtimes straight from the trace) or refitted
+  // (Weibull interarrivals, lognormal runtimes, empirical owner/size
+  // weights) and synthesized at any scale. The samples are embedded string
+  // constants (transforms must be pure — no file reads); scenario_runner
+  // --trace=<file> swaps in a real archive log. The conformance preset caps
+  // trace.max_jobs so these digest-check at sub-second scale like everything
+  // else; the heavy-traffic full scale runs in the perf harness
+  // (BENCH_10.json), which asserts the streaming collector's O(1)-memory
+  // bound while the open stream passes a million tasks.
+  reg.add({"trace/gwa-replay",
+           "direct replay of the bundled GWA sample log: per-owner home placement, task "
+           "counts from allocated processors, task loads from recorded runtimes",
+           "", RuntimeTier::kFast, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.trace.text = std::string(sample_gwa_trace());
+             c.trace.format = TraceFormat::kGwa;
+           })});
+  reg.add({"trace/fitted-burst",
+           "fitted replay of the bundled SWF sample compressed into a 4 h burst: Weibull "
+           "interarrivals and lognormal runtimes refitted, 600 synthetic jobs, streaming "
+           "O(1)-memory metrics",
+           "", RuntimeTier::kMedium, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.trace.text = std::string(sample_swf_trace());
+             c.trace.fitted = true;
+             c.trace.synth_jobs = 600;
+             c.trace.synth_span_s = 4.0 * 3600.0;
+             c.streaming_metrics = true;
+           })});
+  reg.add({"trace/open-stream-1m",
+           "heavy-traffic open stream fitted from the SWF sample: 125k synthetic jobs of "
+           ">= 8 tasks (a million-task arrival stream) scattered over all homes, streaming "
+           "metrics holding a bounded report set - the BENCH_10 nightly scale point",
+           "", RuntimeTier::kSlow, mutate([](ExperimentConfig& c) {
+             c.nodes = 200;
+             c.trace.text = std::string(sample_swf_trace());
+             c.trace.fitted = true;
+             c.trace.synth_jobs = 125000;
+             c.trace.synth_span_s = 0.8 * c.system.horizon_s;
+             c.trace.min_tasks_per_job = 8;
+             c.trace.scatter_owners = true;
+             c.streaming_metrics = true;
+           })});
+
   reg.add({"mixed/multi-template",
            "mixed structured workload: random DAGs plus Montage, fork-join, pipeline and "
            "diamond templates drawn from a weighted mix",
@@ -399,6 +447,14 @@ ExperimentConfig conformance_preset(ExperimentConfig cfg) {
   // conformance tier runs many scenarios under `ctest -j` and must not nest
   // full-width pools.
   cfg.routing_threads = 1;
+  if (cfg.trace.enabled()) {
+    // Trace scenarios scale with their job count, not just the node count:
+    // cap the stream at the classic tier's workload (3 jobs per conformance
+    // node) so a 125k-job open stream digest-checks in sub-seconds too.
+    const auto cap = static_cast<std::size_t>(cfg.nodes) * 3;
+    cfg.trace.max_jobs = cfg.trace.max_jobs == 0 ? cap : std::min(cfg.trace.max_jobs, cap);
+    if (cfg.trace.synth_jobs > cap) cfg.trace.synth_jobs = cap;
+  }
   return cfg;
 }
 
@@ -438,7 +494,7 @@ void write_digest_document(std::ostream& os,
   os << "{\n";
   os << "  \"schema\": \"dpjit-scenario-digests-v1\",\n";
   os << "  \"preset\": \"nodes=clamp(full/10," << kConformanceMinNodes << ","
-     << kConformanceMaxNodes << ") routing_threads=1\",\n";
+     << kConformanceMaxNodes << ") routing_threads=1 trace_jobs<=3*nodes\",\n";
   os << "  \"digests\": {\n";
   for (std::size_t i = 0; i < sorted.size(); ++i) {
     os << "    \"" << sorted[i].first << "\": \"" << sorted[i].second << "\""

@@ -1,5 +1,6 @@
 #include "exp/workload_factory.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -33,6 +34,16 @@ core::SystemConfig build_system_config(const ExperimentConfig& cfg) {
     if (sys.churn.interval_s <= 0.0) sys.churn.interval_s = sys.scheduling_interval_s;
   }
   return sys;
+}
+
+std::unique_ptr<WorkflowMetrics> build_metrics(const ExperimentConfig& cfg, util::Rng& rng) {
+  if (cfg.streaming_metrics) {
+    // Dedicated RNG fork: reservoir draws must not perturb (or be perturbed
+    // by) any simulation stream, or streaming-vs-retaining digests diverge.
+    return std::make_unique<StreamingMetricsCollector>(cfg.system.horizon_s,
+                                                       rng.fork("metrics-reservoir"));
+  }
+  return std::make_unique<MetricsCollector>(cfg.system.horizon_s);
 }
 
 void validate_mix(const std::vector<WorkloadMixEntry>& mix) {
@@ -86,7 +97,7 @@ World::World(const ExperimentConfig& config)
         auto lm_rng = rng_.fork("landmarks");
         return net::LandmarkEstimator(routing_, log2_ceil(config.nodes), lm_rng);
       }()),
-      metrics_(config.system.horizon_s) {
+      metrics_(build_metrics(config, rng_)) {
   if (config.nodes < 1) throw std::invalid_argument("World: nodes >= 1");
   if (config.workflows_per_node < 0) throw std::invalid_argument("World: workflows_per_node >= 0");
   if (config.bursts.wave_count < 0) throw std::invalid_argument("World: bursts.wave_count >= 0");
@@ -122,7 +133,7 @@ World::World(const ExperimentConfig& config)
   system_ = std::make_unique<core::GridSystem>(engine_, topo_, routing_, landmarks_,
                                                std::move(capacities),
                                                core::make_algorithm(config.algorithm),
-                                               build_system_config(config), &metrics_,
+                                               build_system_config(config), metrics_.get(),
                                                faults_.get());
 
   if (faults_) {
@@ -146,9 +157,84 @@ int World::home_count() const {
   return config_.dynamic_factor > 0.0 ? system_->config().churn.stable_count : config_.nodes;
 }
 
+MetricsCollector& World::metrics() {
+  auto* retaining = dynamic_cast<MetricsCollector*>(metrics_.get());
+  if (!retaining) {
+    throw std::logic_error(
+        "World::metrics(): raw reports are unavailable under streaming_metrics; "
+        "use World::collector()");
+  }
+  return *retaining;
+}
+
+const MetricsCollector& World::metrics() const {
+  return const_cast<World*>(this)->metrics();
+}
+
+void World::submit_trace_workload() {
+  const TraceConfig& tc = config_.trace;
+  TraceWorkload trace = tc.text.empty() ? load_trace(tc.path, tc.format)
+                                        : parse_trace_text(tc.text, tc.format);
+  if (tc.fitted) {
+    const TraceFit fit = fit_trace(trace);
+    auto synth_rng = rng_.fork("trace-synth");
+    const std::size_t jobs = tc.synth_jobs != 0 ? tc.synth_jobs : trace.jobs.size();
+    const double span = tc.synth_span_s > 0.0 ? tc.synth_span_s
+                                              : std::max(trace.span_s, 1.0);
+    trace = synthesize_trace(fit, jobs, span, synth_rng);
+  }
+  if (tc.max_jobs != 0 && trace.jobs.size() > tc.max_jobs) trace.jobs.resize(tc.max_jobs);
+  if (tc.time_scale <= 0.0) throw std::invalid_argument("World: trace.time_scale must be > 0");
+  if (tc.load_mi_per_s <= 0.0) throw std::invalid_argument("World: trace.load_mi_per_s > 0");
+
+  const int homes = home_count();
+  const int max_tasks =
+      tc.max_tasks_per_job != 0 ? tc.max_tasks_per_job : config_.workflow.max_tasks;
+  const int min_tasks = std::clamp(tc.min_tasks_per_job, 1, max_tasks);
+  auto wf_rng = rng_.fork("trace-workload");
+  for (std::size_t k = 0; k < trace.jobs.size(); ++k) {
+    const TraceJob& job = trace.jobs[k];
+    int h = job.owner % homes;
+    if (tc.scatter_owners) {
+      // SplitMix64-style avalanche over (owner, id): spreads a small owner
+      // pool uniformly over all homes, deterministically.
+      std::uint64_t x = static_cast<std::uint64_t>(job.owner) * 0x9e3779b97f4a7c15ULL +
+                        static_cast<std::uint64_t>(job.id);
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      h = static_cast<int>((x ^ (x >> 31)) % static_cast<std::uint64_t>(homes));
+    }
+    // The job's shape steers the generated workflow: processor count -> task
+    // count, runtime -> per-task load centered on runtime * MI/s with the
+    // generator's usual +/- 50% spread. Data volumes keep the configured
+    // ranges, so the CCR regime stays a scenario knob.
+    dag::GeneratorParams params = config_.workflow;
+    const int tasks = std::clamp(job.procs, min_tasks, max_tasks);
+    params.min_tasks = params.max_tasks = tasks;
+    const double center_mi = job.runtime_s * tc.load_mi_per_s;
+    params.min_load_mi = std::max(1.0, 0.5 * center_mi);
+    params.max_load_mi = std::max(params.min_load_mi, 1.5 * center_mi);
+    auto one_rng = wf_rng.fork("job", static_cast<std::uint64_t>(k));
+    auto wf = dag::generate_workflow(WorkflowId{}, params, one_rng);
+
+    const double at = job.submit_s * tc.time_scale;
+    if (at <= 0.0) {
+      system_->submit(NodeId{h}, std::move(wf));
+    } else {
+      engine_.schedule_at(at, [this, h, pending = std::move(wf)]() mutable {
+        system_->submit(NodeId{h}, std::move(pending));
+      });
+    }
+  }
+}
+
 void World::submit_workload() {
   if (submitted_) return;
   submitted_ = true;
+  if (config_.trace.enabled()) {
+    submit_trace_workload();
+    return;
+  }
   auto wf_rng = rng_.fork("workload");
   auto arrival_rng = rng_.fork("arrivals");
   const int homes = home_count();

@@ -9,6 +9,7 @@
 #include "core/grid_system.hpp"
 #include "dag/generator.hpp"
 #include "exp/metrics.hpp"
+#include "exp/trace_importer.hpp"
 #include "net/landmark.hpp"
 #include "sim/fault_plan.hpp"
 
@@ -24,6 +25,52 @@ struct BurstArrivals {
   double period_s = 4.0 * 3600.0;
   /// Each home's submissions land uniformly inside [open, open + width].
   double width_s = 900.0;
+};
+
+/// Trace-driven workload (see ExperimentConfig::trace): jobs come from a
+/// parsed SWF/GWA trace — replayed directly, or refitted and synthesized at
+/// any scale — instead of the closed/open/burst synthetic models. Each trace
+/// job expands into one workflow submitted at its (scaled) arrival time from
+/// the home node `owner % home_count`, with the job's processor count
+/// steering the workflow's task count and its runtime steering task loads.
+struct TraceConfig {
+  /// Inline trace text (takes precedence over `path`). Scenario transforms
+  /// must use this: transforms are pure, so no filesystem reads.
+  std::string text;
+  /// Trace file to load (scenario_runner --trace=<file> sets this).
+  std::string path;
+  TraceFormat format = TraceFormat::kAuto;
+
+  /// false = replay the trace's jobs one-for-one. true = fit Guazzone-style
+  /// distributions (fit_trace) and synthesize `synth_jobs` jobs over
+  /// `synth_span_s` — the path to 1M-task open streams from a small sample.
+  bool fitted = false;
+  /// Synthetic job count (fitted mode); 0 = same count as the trace.
+  std::size_t synth_jobs = 0;
+  /// Synthetic arrival span in seconds (fitted mode); 0 = the trace's span.
+  double synth_span_s = 0.0;
+
+  /// Multiplies replayed arrival times (< 1 compresses the trace into a
+  /// heavier-traffic burst; applied after fitting/synthesis too).
+  double time_scale = 1.0;
+  /// Converts a job's runtime into per-task load: the load range is centered
+  /// on runtime_s * this many MI per second, spread +/- 50%.
+  double load_mi_per_s = 50.0;
+  /// Task-count bounds a job's processor count is clamped into. 0 for the
+  /// max = the workflow generator's max_tasks.
+  int min_tasks_per_job = 2;
+  int max_tasks_per_job = 0;
+  /// Hard cap on jobs submitted (0 = all). The conformance preset sets this
+  /// so trace scenarios digest-check at sub-second scale.
+  std::size_t max_jobs = 0;
+  /// false = a job's home node is owner % home_count, preserving per-owner
+  /// submission locality (replay). true = hash (owner, id) over all homes —
+  /// for fitted open streams whose synthetic owner pool is far smaller than
+  /// the node set, where locality would pile every job onto a handful of
+  /// homes.
+  bool scatter_owners = false;
+
+  [[nodiscard]] bool enabled() const { return !text.empty() || !path.empty(); }
 };
 
 /// One entry of a mixed structured workload (see ExperimentConfig::
@@ -86,6 +133,17 @@ struct ExperimentConfig {
   /// its family from this weighted mix instead of always using the random-DAG
   /// generator. Template task sizes derive from the `workflow` ranges.
   std::vector<WorkloadMixEntry> workload_mix;
+  /// Trace-driven workload: when trace.enabled(), jobs come from an imported
+  /// SWF/GWA trace (replayed or refitted+synthesized) and take precedence
+  /// over the closed/open/burst/mix models above.
+  TraceConfig trace;
+  /// Collect metrics with the O(1)-memory StreamingMetricsCollector instead
+  /// of the retaining MetricsCollector. Digested summaries are bitwise
+  /// identical either way (see exp/metrics.hpp); the streaming collector
+  /// additionally bounds live per-workflow state, which open-stream runs
+  /// with millions of tasks need. World::metrics() (the raw-report
+  /// accessor) is unavailable in this mode — use World::collector().
+  bool streaming_metrics = false;
   /// Pre-sized capacity of the engine's event slab (concurrently pending
   /// events). 0 = derive from `nodes` (gossip keeps O(fanout) messages in
   /// flight per node). Purely an allocation hint; never affects results.
@@ -124,8 +182,15 @@ class World {
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] core::GridSystem& system() { return *system_; }
   [[nodiscard]] const core::GridSystem& system() const { return *system_; }
-  [[nodiscard]] MetricsCollector& metrics() { return metrics_; }
-  [[nodiscard]] const MetricsCollector& metrics() const { return metrics_; }
+  /// The retaining collector with its raw report/sample records. Only valid
+  /// when config.streaming_metrics is false (throws std::logic_error
+  /// otherwise) — summaries should go through collector(), which works with
+  /// either implementation.
+  [[nodiscard]] MetricsCollector& metrics();
+  [[nodiscard]] const MetricsCollector& metrics() const;
+  /// The configured metrics implementation behind the common interface.
+  [[nodiscard]] WorkflowMetrics& collector() { return *metrics_; }
+  [[nodiscard]] const WorkflowMetrics& collector() const { return *metrics_; }
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
   [[nodiscard]] const net::Topology& topology() const { return topo_; }
   [[nodiscard]] const net::Routing& routing() const { return routing_; }
@@ -137,6 +202,7 @@ class World {
 
  private:
   void submit_workload();
+  void submit_trace_workload();
 
   ExperimentConfig config_;
   util::Rng rng_;
@@ -144,7 +210,7 @@ class World {
   net::Topology topo_;
   net::Routing routing_;
   net::LandmarkEstimator landmarks_;
-  MetricsCollector metrics_;
+  std::unique_ptr<WorkflowMetrics> metrics_;
   /// Destroyed after system_ (declared before it): the system's gossip layer
   /// keeps a raw pointer to the plan for per-message fate draws.
   std::unique_ptr<sim::FaultPlan> faults_;

@@ -109,6 +109,18 @@ double Rng::normal(double mean, double stddev) {
 
 double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
 
+double Rng::weibull(double shape, double scale) {
+  assert(shape > 0.0 && scale > 0.0);
+  // Inverse CDF on u in (0, 1]: scale * (-ln u)^(1/shape). shape == 1 is the
+  // exponential; shape < 1 gives the bursty heavy-tailed interarrivals of
+  // real grid traces (Guazzone et al.).
+  double u;
+  do {
+    u = uniform01();
+  } while (u <= 0.0);
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
 double Rng::pareto(double scale, double alpha) {
   assert(scale > 0.0 && alpha > 0.0);
   // Inverse CDF on u in (0, 1].

@@ -58,6 +58,11 @@ class Rng {
   /// log-space. sigma > 1 gives the heavy right tail of real grid workloads.
   double lognormal(double mu, double sigma);
 
+  /// Weibull value with shape k > 0 and scale lambda > 0 (inverse CDF).
+  /// shape == 1 reduces to exponential(scale); shape < 1 models the bursty
+  /// interarrival times mined from real grid traces.
+  double weibull(double shape, double scale);
+
   /// Pareto (Type I) value with scale xm > 0 and tail index alpha > 0:
   /// support [xm, inf), P(X > x) = (xm/x)^alpha. Small alpha = heavier tail.
   double pareto(double scale, double alpha);

@@ -1,0 +1,195 @@
+// exp trace fitting + synthesis: moment-matched Weibull interarrivals,
+// lognormal runtimes from log-moments, empirical owner/processor weights,
+// and the deterministic span-rescaled generator built on them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/sample_trace.hpp"
+#include "exp/trace_importer.hpp"
+#include "util/rng.hpp"
+
+namespace dpjit::exp {
+namespace {
+
+/// Builds a workload whose interarrivals are drawn by `gap` and runtimes by
+/// `runtime`, already sorted and origin-shifted the way parse_trace emits.
+template <typename GapFn, typename RuntimeFn>
+TraceWorkload make_workload(std::size_t n, GapFn gap, RuntimeFn runtime) {
+  TraceWorkload wl;
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceJob j;
+    j.id = static_cast<std::int64_t>(i + 1);
+    j.submit_s = t;
+    j.runtime_s = runtime(i);
+    t += gap(i);
+    wl.jobs.push_back(j);
+  }
+  wl.span_s = wl.jobs.back().submit_s;
+  wl.stats.accepted = n;
+  return wl;
+}
+
+TEST(TraceFit, RequiresTwoJobs) {
+  TraceWorkload empty;
+  EXPECT_THROW((void)fit_trace(empty), std::invalid_argument);
+  TraceWorkload one;
+  one.jobs.push_back({1, 0.0, 60.0, 1, 0});
+  EXPECT_THROW((void)fit_trace(one), std::invalid_argument);
+}
+
+// k = 1 is the exponential: fitting Poisson arrivals must come back with a
+// shape near 1 (CV^2 near 1), pinning the CV^2 <-> shape inversion.
+TEST(TraceFit, ExponentialArrivalsGiveShapeOne) {
+  util::Rng rng(101);
+  const auto wl = make_workload(
+      20000, [&](std::size_t) { return rng.exponential(600.0); },
+      [](std::size_t) { return 300.0; });
+  const auto fit = fit_trace(wl);
+  EXPECT_NEAR(fit.ia_cv2, 1.0, 0.1);
+  EXPECT_NEAR(fit.ia_shape, 1.0, 0.1);
+  EXPECT_NEAR(fit.ia_mean_s, 600.0, 20.0);
+  // The fit matches the empirical mean exactly through the Weibull identity
+  // E[Weibull(k, lambda)] = lambda * Gamma(1 + 1/k) at the fitted shape.
+  const double implied_mean = fit.ia_scale * std::exp(std::lgamma(1.0 + 1.0 / fit.ia_shape));
+  EXPECT_NEAR(implied_mean, fit.ia_mean_s, 1e-9 * fit.ia_mean_s);
+}
+
+// Bursty (shape < 1) Weibull interarrivals are recovered approximately from
+// 20k draws — moment matching, so the tolerance reflects CV^2 sampling noise
+// on a heavy-tailed gap distribution, but 0.6 is cleanly told from 1.0.
+TEST(TraceFit, RecoversBurstyWeibullShape) {
+  util::Rng rng(202);
+  const auto wl = make_workload(
+      20000, [&](std::size_t) { return rng.weibull(0.6, 1000.0); },
+      [](std::size_t) { return 300.0; });
+  const auto fit = fit_trace(wl);
+  EXPECT_GT(fit.ia_cv2, 1.5);  // burstier than Poisson, unambiguously
+  EXPECT_NEAR(fit.ia_shape, 0.6, 0.15);
+}
+
+TEST(TraceFit, RecoversLognormalRuntimes) {
+  util::Rng rng(303);
+  const auto wl = make_workload(
+      20000, [](std::size_t) { return 60.0; },
+      [&](std::size_t) { return std::max(1.0, rng.lognormal(5.0, 1.2)); });
+  const auto fit = fit_trace(wl);
+  EXPECT_NEAR(fit.rt_mu, 5.0, 0.05);
+  EXPECT_NEAR(fit.rt_sigma, 1.2, 0.05);
+  // Raw mean of LogNormal(5, 1.2): exp(mu + sigma^2/2) ~ 305 s.
+  EXPECT_NEAR(fit.rt_mean_s, std::exp(5.0 + 0.72), 0.15 * std::exp(5.0 + 0.72));
+}
+
+TEST(TraceFit, OwnerAndProcsWeightsNormalized) {
+  const auto wl = parse_trace_text(sample_swf_trace());
+  const auto fit = fit_trace(wl);
+  ASSERT_FALSE(fit.owner_weights.empty());
+  ASSERT_FALSE(fit.procs_weights.empty());
+  const double owner_sum =
+      std::accumulate(fit.owner_weights.begin(), fit.owner_weights.end(), 0.0);
+  const double procs_sum =
+      std::accumulate(fit.procs_weights.begin(), fit.procs_weights.end(), 0.0);
+  EXPECT_NEAR(owner_sum, 1.0, 1e-9);
+  EXPECT_NEAR(procs_sum, 1.0, 1e-9);
+  // Descending by job share — synthesis assigns dense ids by rank.
+  for (std::size_t i = 1; i < fit.owner_weights.size(); ++i) {
+    EXPECT_GE(fit.owner_weights[i - 1], fit.owner_weights[i]);
+  }
+  EXPECT_EQ(fit.job_count, wl.jobs.size());
+}
+
+// A fully batched trace (every job at t = 0) has no interarrival signal;
+// the fit degenerates to a nominal Poisson hour instead of NaN-ing out.
+TEST(TraceFit, DegenerateBatchTraceFallsBackToPoissonHour) {
+  const auto wl = make_workload(
+      50, [](std::size_t) { return 0.0; }, [](std::size_t) { return 120.0; });
+  const auto fit = fit_trace(wl);
+  EXPECT_DOUBLE_EQ(fit.ia_shape, 1.0);
+  EXPECT_DOUBLE_EQ(fit.ia_scale, 3600.0);
+  EXPECT_DOUBLE_EQ(fit.ia_mean_s, 3600.0);
+  EXPECT_DOUBLE_EQ(fit.ia_cv2, 1.0);
+}
+
+TEST(TraceSynthesize, DeterministicForFixedSeed) {
+  const auto fit = fit_trace(parse_trace_text(sample_swf_trace()));
+  util::Rng a(7), b(7);
+  const auto wa = synthesize_trace(fit, 500, 86400.0, a);
+  const auto wb = synthesize_trace(fit, 500, 86400.0, b);
+  ASSERT_EQ(wa.jobs.size(), wb.jobs.size());
+  for (std::size_t i = 0; i < wa.jobs.size(); ++i) {
+    EXPECT_EQ(wa.jobs[i].id, wb.jobs[i].id);
+    EXPECT_EQ(wa.jobs[i].submit_s, wb.jobs[i].submit_s);  // bitwise
+    EXPECT_EQ(wa.jobs[i].runtime_s, wb.jobs[i].runtime_s);
+    EXPECT_EQ(wa.jobs[i].procs, wb.jobs[i].procs);
+    EXPECT_EQ(wa.jobs[i].owner, wb.jobs[i].owner);
+  }
+}
+
+TEST(TraceSynthesize, SpanRescaledExactly) {
+  const auto fit = fit_trace(parse_trace_text(sample_swf_trace()));
+  util::Rng rng(9);
+  const auto wl = synthesize_trace(fit, 1000, 43200.0, rng);
+  ASSERT_EQ(wl.jobs.size(), 1000u);
+  EXPECT_DOUBLE_EQ(wl.jobs.front().submit_s, 0.0);
+  EXPECT_DOUBLE_EQ(wl.jobs.back().submit_s, 43200.0);  // pinned, no FP drift
+  EXPECT_DOUBLE_EQ(wl.span_s, 43200.0);
+  for (std::size_t i = 1; i < wl.jobs.size(); ++i) {
+    EXPECT_LE(wl.jobs[i - 1].submit_s, wl.jobs[i].submit_s);
+  }
+}
+
+TEST(TraceSynthesize, JobsAreNormalizedAndIdsDense) {
+  const auto fit = fit_trace(parse_trace_text(sample_gwa_trace(), TraceFormat::kGwa));
+  util::Rng rng(11);
+  const auto wl = synthesize_trace(fit, 2000, 86400.0, rng);
+  const auto owners = static_cast<int>(fit.owner_weights.size());
+  const auto max_procs = static_cast<int>(fit.procs_weights.size());
+  for (const auto& j : wl.jobs) {
+    EXPECT_GE(j.runtime_s, 1.0);
+    EXPECT_GE(j.procs, 1);
+    EXPECT_LE(j.procs, max_procs);
+    EXPECT_GE(j.owner, 0);
+    EXPECT_LT(j.owner, owners);
+  }
+}
+
+TEST(TraceSynthesize, SingleJobAndEmptyEdgeCases) {
+  const auto fit = fit_trace(parse_trace_text(sample_swf_trace()));
+  util::Rng rng(13);
+  const auto none = synthesize_trace(fit, 0, 3600.0, rng);
+  EXPECT_TRUE(none.jobs.empty());
+  EXPECT_DOUBLE_EQ(none.span_s, 0.0);
+  // One job: raw span is 0, so there is nothing to rescale — the job stays
+  // at t = 0 rather than being teleported to span_s.
+  const auto one = synthesize_trace(fit, 1, 3600.0, rng);
+  ASSERT_EQ(one.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(one.jobs.front().submit_s, 0.0);
+  EXPECT_DOUBLE_EQ(one.span_s, 0.0);
+  EXPECT_THROW((void)synthesize_trace(fit, 10, 0.0, rng), std::invalid_argument);
+}
+
+// fit -> synthesize -> refit round-trip: the span rescale must preserve the
+// interarrival *shape* (Weibull is closed under scaling) and the runtime
+// log-moments, so a refit of a large synthetic workload lands near the
+// original fit. This is the property the open-stream scenarios lean on when
+// replaying the small bundled sample at 1M-task scale.
+TEST(TraceSynthesize, RefitRecoversFittedParameters) {
+  const auto fit = fit_trace(parse_trace_text(sample_swf_trace()));
+  util::Rng rng(17);
+  const auto synth = synthesize_trace(fit, 30000, 2.0e6, rng);
+  const auto refit = fit_trace(synth);
+  EXPECT_NEAR(refit.ia_shape, fit.ia_shape, 0.15 * fit.ia_shape + 0.05);
+  EXPECT_NEAR(refit.rt_mu, fit.rt_mu, 0.1);
+  EXPECT_NEAR(refit.rt_sigma, fit.rt_sigma, 0.1);
+  ASSERT_EQ(refit.owner_weights.size(), fit.owner_weights.size());
+  for (std::size_t i = 0; i < fit.owner_weights.size(); ++i) {
+    EXPECT_NEAR(refit.owner_weights[i], fit.owner_weights[i], 0.05) << "owner rank " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dpjit::exp

@@ -202,5 +202,41 @@ TEST(Rng, ParetoRespectsScaleAndTailIndex) {
   EXPECT_NEAR(beyond_double / static_cast<double>(n), 0.25, 0.02);
 }
 
+TEST(Rng, WeibullShapeOneIsExponential) {
+  // Weibull(1, lambda) IS Exponential(lambda): P(X > lambda) = 1/e.
+  Rng rng(17);
+  const int n = 50000;
+  int beyond_scale = 0;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.weibull(1.0, 300.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+    if (x > 300.0) ++beyond_scale;
+  }
+  EXPECT_NEAR(sum / n, 300.0, 10.0);
+  EXPECT_NEAR(beyond_scale / static_cast<double>(n), std::exp(-1.0), 0.01);
+}
+
+TEST(Rng, WeibullMatchesMeanAcrossShapes) {
+  // E[Weibull(k, lambda)] = lambda * Gamma(1 + 1/k); shape < 1 is the bursty
+  // interarrival regime the trace fitter targets, shape > 1 the regular one.
+  for (double shape : {0.6, 1.5, 3.0}) {
+    Rng rng(19);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += rng.weibull(shape, 100.0);
+    const double expected = 100.0 * std::exp(std::lgamma(1.0 + 1.0 / shape));
+    EXPECT_NEAR(sum / n, expected, 0.03 * expected) << "shape " << shape;
+  }
+}
+
+TEST(Rng, WeibullDeterministicForSameSeed) {
+  Rng a(23), b(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.weibull(0.7, 50.0), b.weibull(0.7, 50.0));
+  }
+}
+
 }  // namespace
 }  // namespace dpjit::util

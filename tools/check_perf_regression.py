@@ -67,6 +67,9 @@ def main() -> None:
     base_ws = "workflow_shard"
     if current.get("quick") and "quick_workflow_shard" in baseline:
         base_ws = "quick_workflow_shard"
+    base_sm = "streaming_metrics"
+    if current.get("quick") and "quick_streaming_metrics" in baseline:
+        base_sm = "quick_streaming_metrics"
     watched = [
         ("event_queue", base_eq, "schedule_pop_speedup"),
         ("event_queue", base_eq, "schedule_cancel_pop_speedup"),
@@ -75,6 +78,10 @@ def main() -> None:
         ("shard_engine", base_se, "sharded_speedup"),
         ("workflow_shard", base_ws, "sharded_speedup"),
         ("oracle", base_or, "probe_cache_speedup"),
+        # The streaming collector must stay free on the hot path: the
+        # streaming/retaining dispatch-throughput ratio sits near 1.0 and a
+        # drop means the sketches started taxing every report.
+        ("streaming_metrics", base_sm, "tasks_per_s_ratio"),
     ]
     info = [
         ("event_queue", "current_schedule_pop_mops"),
@@ -93,6 +100,9 @@ def main() -> None:
         ("oracle", "uncached_probes_per_s"),
         ("oracle", "cached_probes_per_s"),
         ("oracle", "probe_replay_speedup"),
+        ("streaming_metrics", "streaming_tasks_per_s"),
+        ("streaming_metrics", "retaining_tasks_per_s"),
+        ("streaming_metrics", "live_reports_streaming"),
     ]
     for section, key in info:
         print(f"info: {section}.{key} = {current.get(section, {}).get(key)}")

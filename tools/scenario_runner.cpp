@@ -15,7 +15,9 @@
 // --small (applies the conformance preset before running), and the CCR
 // knobs --load=MIN:MAX (task load, MI) / --data=MIN:MAX (edge data, Mb) so
 // any scenario sweeps across the Figs. 9-10 regimes without registering
-// throwaway variants.
+// throwaway variants. `--trace=<file>` swaps a real SWF/GWA job log in for
+// the scenario's workload (replacing a trace/* scenario's bundled sample, or
+// making any classic scenario trace-driven).
 //
 // `--shards=N` selects the PDES shard count for sharded (scale/*) scenarios;
 // results and digests are byte-identical at every count, which the
@@ -92,7 +94,9 @@ int describe_scenario(const std::string& name, bool as_json) {
   const auto cfg = s->config();
   const int conf_nodes = exp::conformance_nodes(cfg.nodes);
   const char* arrivals = "closed-t0";
-  if (cfg.bursts.wave_count > 0) {
+  if (cfg.trace.enabled()) {
+    arrivals = cfg.trace.fitted ? "trace-fitted" : "trace-replay";
+  } else if (cfg.bursts.wave_count > 0) {
     arrivals = "burst-waves";
   } else if (cfg.mean_interarrival_s > 0.0) {
     arrivals = "open-poisson";
@@ -308,6 +312,14 @@ int run_scenario(const util::Config& cli, const std::string& name, bool as_json)
   }
   cfg.set_load_range(load_lo, load_hi);
   cfg.set_data_range(data_lo, data_hi);
+  const std::string trace_file = cli.get_string("trace", "");
+  if (!trace_file.empty()) {
+    // A file trumps any embedded sample; format auto-detects unless the
+    // scenario pinned one AND still owns the workload (it no longer does).
+    cfg.trace.path = trace_file;
+    cfg.trace.text.clear();
+    cfg.trace.format = exp::TraceFormat::kAuto;
+  }
 
   if (scenario->sharded) return run_scale_scenario(cli, *scenario, cfg, as_json);
 
